@@ -1,0 +1,112 @@
+// Substrate validation: latency-vs-load curves for the four synthetic
+// patterns of Sec. V.A (uniform random, transpose, bit complement,
+// hotspot) on the 8x8 mesh, plus the measured saturation knee of each.
+//
+// Not a paper figure — this is the standard sanity check (Dally & Towles
+// ch. 23) that the cycle-accurate substrate behaves like an on-chip
+// network: flat low-load latency near the zero-load bound, a sharp knee,
+// and the expected pattern ordering (BC saturates earliest — every packet
+// crosses the bisection; HS collapses onto four hot nodes).
+#include "bench_common.h"
+
+namespace rair::bench {
+namespace {
+
+const Mesh& mesh() {
+  static Mesh m(8, 8);
+  return m;
+}
+// A single chip-wide "region" (conventional NoC: one region, Sec. II.A).
+const RegionMap& regions() {
+  static RegionMap rm = RegionMap::blockGrid(mesh(), 1, 1);
+  return rm;
+}
+
+const std::vector<PatternKind>& patterns() {
+  static std::vector<PatternKind> ps = {
+      PatternKind::UniformRandom, PatternKind::Transpose,
+      PatternKind::BitComplement, PatternKind::Hotspot};
+  return ps;
+}
+
+const std::vector<double>& rates() {
+  static std::vector<double> rs = {0.02, 0.05, 0.10, 0.15,
+                                   0.20, 0.25, 0.30, 0.35};
+  return rs;
+}
+
+AppTrafficSpec shapeFor(PatternKind pat) {
+  AppTrafficSpec s;
+  s.app = 0;
+  s.intraFraction = 0.0;
+  s.interFraction = 1.0;  // chip-wide pattern traffic
+  s.interPattern = pat;
+  return s;
+}
+
+double cell(PatternKind pat, double rate) {
+  const std::string key =
+      std::string(patternName(pat)) + "/" + formatNum(rate, 3);
+  return ResultStore::instance().value(key, [pat, rate] {
+    SimConfig cfg = paperSimConfig();
+    cfg.drainLimit = 60'000;  // saturated points need not fully drain
+    AppTrafficSpec s = shapeFor(pat);
+    s.injectionRate = rate;
+    const auto r =
+        runScenario(mesh(), regions(), cfg, schemeRoRr(), {s});
+    return r.run.fullyDrained ? r.appApl[0] : -1.0;  // -1: saturated
+  });
+}
+
+double knee(PatternKind pat) {
+  const std::string key = std::string(patternName(pat)) + "/knee";
+  return ResultStore::instance().value(key, [pat] {
+    return appSaturationRate(mesh(), regions(), shapeFor(pat),
+                             paperSatOptions());
+  });
+}
+
+void printTable() {
+  std::printf("\n=== Substrate check: APL vs offered load per synthetic "
+              "pattern ('sat' = run did not drain) ===\n\n");
+  std::vector<std::string> headers = {"rate"};
+  for (PatternKind p : patterns()) headers.emplace_back(patternName(p));
+  TextTable t(std::move(headers));
+  for (double rate : rates()) {
+    const auto row = t.addRow();
+    t.setNum(row, 0, rate, 2);
+    for (std::size_t i = 0; i < patterns().size(); ++i) {
+      const double apl = cell(patterns()[i], rate);
+      t.set(row, 1 + i, apl < 0 ? "sat" : formatNum(apl, 1));
+    }
+  }
+  std::puts(t.toString().c_str());
+  std::printf("Measured saturation knees (flits/cycle/node): ");
+  for (PatternKind p : patterns())
+    std::printf("%s=%.3f  ", std::string(patternName(p)).c_str(), knee(p));
+  std::printf("\nExpected ordering: HS << BC < TP < UR.\n");
+}
+
+}  // namespace
+}  // namespace rair::bench
+
+int main(int argc, char** argv) {
+  using namespace rair;
+  using namespace rair::bench;
+  for (PatternKind pat : patterns()) {
+    for (double rate : rates()) {
+      benchmark::RegisterBenchmark(
+          ("abl_saturation/" + std::string(patternName(pat)) +
+           "/rate=" + formatNum(rate, 2)).c_str(),
+          [pat, rate](benchmark::State& st) {
+            for (auto _ : st) {
+              const double apl = cell(pat, rate);
+              st.counters["apl"] = apl < 0 ? -1 : apl;
+            }
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  return runBenchMain(argc, argv, printTable);
+}

@@ -1,0 +1,109 @@
+// Shared infrastructure for the figure-reproduction benchmarks.
+//
+// Each bench binary registers one google-benchmark per scenario cell
+// (scheme x workload point), runs each cell exactly once (a cell is a full
+// cycle-accurate simulation; wall time is reported by the framework and
+// APLs as user counters), then prints the corresponding paper-style table
+// after the benchmark run.
+//
+// Environment knobs:
+//   RAIR_BENCH_FAST=1  shrink windows (2K warmup / 20K measured instead of
+//                      the paper's 10K / 100K) for quick smoke runs.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "scenarios/paper_scenarios.h"
+#include "sim/saturation.h"
+#include "sim/scenario.h"
+#include "stats/report.h"
+
+namespace rair::bench {
+
+inline bool fastMode() { return std::getenv("RAIR_BENCH_FAST") != nullptr; }
+
+/// Simulation windows per the paper (Sec. V.A: 10K warmup, 100K measured).
+inline SimConfig paperSimConfig() {
+  SimConfig cfg;
+  if (fastMode()) {
+    cfg.warmupCycles = 2'000;
+    cfg.measureCycles = 20'000;
+  } else {
+    cfg.warmupCycles = 10'000;
+    cfg.measureCycles = 100'000;
+  }
+  cfg.drainLimit = 500'000;
+  return cfg;
+}
+
+/// Shorter windows for saturation calibration (knee finding).
+inline SaturationOptions paperSatOptions() {
+  SaturationOptions o;
+  if (fastMode()) {
+    o.warmupCycles = 1'000;
+    o.measureCycles = 5'000;
+    o.drainLimit = 15'000;
+    o.bisectIters = 4;
+  } else {
+    o.warmupCycles = 2'000;
+    o.measureCycles = 10'000;
+    o.drainLimit = 30'000;
+    o.bisectIters = 6;
+  }
+  return o;
+}
+
+/// Memoizes scenario results so the post-run table printer reuses what the
+/// benchmark cells computed (and calibration values are computed once).
+class ResultStore {
+ public:
+  const ScenarioResult& scenario(
+      const std::string& key, const std::function<ScenarioResult()>& fn) {
+    auto it = scenarios_.find(key);
+    if (it == scenarios_.end())
+      it = scenarios_.emplace(key, fn()).first;
+    return it->second;
+  }
+
+  double value(const std::string& key, const std::function<double()>& fn) {
+    auto it = values_.find(key);
+    if (it == values_.end()) it = values_.emplace(key, fn()).first;
+    return it->second;
+  }
+
+  static ResultStore& instance() {
+    static ResultStore store;
+    return store;
+  }
+
+ private:
+  std::map<std::string, ScenarioResult> scenarios_;
+  std::map<std::string, double> values_;
+};
+
+/// Exposes per-app APLs as benchmark counters.
+inline void setAplCounters(benchmark::State& st, const ScenarioResult& r) {
+  for (std::size_t a = 0; a < r.appApl.size(); ++a) {
+    st.counters["apl_app" + std::to_string(a)] = r.appApl[a];
+  }
+  st.counters["apl_mean"] = r.meanApl;
+  st.counters["drained"] = r.run.fullyDrained ? 1 : 0;
+}
+
+/// Boilerplate main: run the registered benchmarks, then the table hook.
+inline int runBenchMain(int argc, char** argv,
+                        const std::function<void()>& printTables) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  printTables();
+  return 0;
+}
+
+}  // namespace rair::bench

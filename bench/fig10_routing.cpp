@@ -1,0 +1,106 @@
+// Reproduces Fig. 10: impact of the routing algorithm.
+//
+// Same two-application workload as Fig. 9, comparing RO_RR and RAIR on
+// local-adaptive routing against the same pair on DBAR routing. Paper
+// reference at p = 100%: RAIR_DBAR beats RO_RR_Local by 24.8% (App 0) and
+// 3.3% (App 1), and beats RO_RR_DBAR by 12.8% on App 0 with only 1.8%
+// App 1 degradation.
+#include "bench_common.h"
+
+namespace rair::bench {
+namespace {
+
+const Mesh& mesh() {
+  static Mesh m(8, 8);
+  return m;
+}
+const RegionMap& regions() {
+  static RegionMap rm = RegionMap::halves(mesh());
+  return rm;
+}
+
+double halfSaturation() {
+  return ResultStore::instance().value("halfSat", [] {
+    AppTrafficSpec shape;
+    shape.app = 0;
+    return appSaturationRate(mesh(), regions(), shape, paperSatOptions());
+  });
+}
+
+const std::vector<int>& pSweep() {
+  static std::vector<int> ps = {0, 25, 50, 75, 100};
+  return ps;
+}
+
+std::vector<SchemeSpec> schemes() {
+  SchemeSpec rrLocal = schemeRoRr();
+  rrLocal.label = "RO_RR_Local";
+  SchemeSpec rairLocal = schemeRaRair();
+  rairLocal.label = "RAIR_Local";
+  return {rrLocal, rairLocal, schemeRoRr(RoutingKind::Dbar),
+          schemeRaRair(RoutingKind::Dbar)};
+}
+
+const ScenarioResult& cell(const SchemeSpec& scheme, int p) {
+  const std::string key = scheme.label + "/p" + std::to_string(p);
+  return ResultStore::instance().scenario(key, [&, p] {
+    const double sat = halfSaturation();
+    const auto apps = scenarios::twoAppInterRegion(
+        p / 100.0, scenarios::kLowLoadFraction * sat,
+        scenarios::kHighLoadFraction * sat);
+    return runScenario(mesh(), regions(), paperSimConfig(), scheme, apps);
+  });
+}
+
+void printTable() {
+  std::printf("\n=== Fig. 10: APL vs inter-region fraction p under "
+              "local-adaptive vs DBAR routing ===\n\n");
+  TextTable t({"p", "scheme", "APL App0", "APL App1",
+               "dApp0 vs RO_RR_Local", "dApp1 vs RO_RR_Local"});
+  const auto all = schemes();
+  for (int p : pSweep()) {
+    const auto& base = cell(all[0], p);
+    for (const auto& s : all) {
+      const auto& r = cell(s, p);
+      const auto row = t.addRow();
+      t.set(row, 0, std::to_string(p) + "%");
+      t.set(row, 1, s.label);
+      t.setNum(row, 2, r.appApl[0]);
+      t.setNum(row, 3, r.appApl[1]);
+      t.setPct(row, 4, r.reductionVs(base, 0));
+      t.setPct(row, 5, r.reductionVs(base, 1));
+    }
+  }
+  std::puts(t.toString().c_str());
+
+  const auto& rrL = cell(all[0], 100);
+  const auto& rrD = cell(all[2], 100);
+  const auto& raD = cell(all[3], 100);
+  std::printf(
+      "Paper reference at p=100%%: RAIR_DBAR vs RO_RR_Local: -24.8%% App0, "
+      "-3.3%% App1 (measured %s / %s); vs RO_RR_DBAR: -12.8%% App0, +1.8%% "
+      "App1 (measured %s / %s).\n",
+      formatPct(-raD.reductionVs(rrL, 0)).c_str(),
+      formatPct(-raD.reductionVs(rrL, 1)).c_str(),
+      formatPct(-raD.reductionVs(rrD, 0)).c_str(),
+      formatPct(-raD.reductionVs(rrD, 1)).c_str());
+}
+
+}  // namespace
+}  // namespace rair::bench
+
+int main(int argc, char** argv) {
+  using namespace rair::bench;
+  for (const auto& s : schemes()) {
+    for (int p : pSweep()) {
+      benchmark::RegisterBenchmark(
+          ("fig10/" + s.label + "/p=" + std::to_string(p)).c_str(),
+          [s, p](benchmark::State& st) {
+            for (auto _ : st) setAplCounters(st, cell(s, p));
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  return runBenchMain(argc, argv, printTable);
+}

@@ -1,0 +1,105 @@
+// Reproduces Fig. 12: impact of dynamic priority adaptation.
+//
+// Two contrasting four-application quadrant scenarios (Fig. 11):
+//   (a) Apps 0-2 low load with 30% inter-region traffic toward App 3's
+//       region; App 3 high load, intra-only. Prioritizing foreign traffic
+//       is right here.
+//   (b) Apps 0-2 low load, intra-only; App 3 high load with 30%
+//       inter-region traffic spread over the others. Prioritizing native
+//       traffic is right here.
+// Static NativeH/ForeignH each win one scenario and lose the other; DPA
+// must match the winner in both (paper: ~12.8% / ~12.2% mean reduction).
+#include "bench_common.h"
+
+namespace rair::bench {
+namespace {
+
+const Mesh& mesh() {
+  static Mesh m(8, 8);
+  return m;
+}
+const RegionMap& regions() {
+  static RegionMap rm = RegionMap::quadrants(mesh());
+  return rm;
+}
+
+std::vector<SchemeSpec> schemes() {
+  return {schemeRoRr(), schemeRairNativeHigh(), schemeRairForeignHigh(),
+          schemeRaRair()};
+}
+
+/// Loads resolved per app on its true traffic shape, with the high-load
+/// App 3 calibrated in context (see scenarios::calibrateLoads).
+std::vector<AppTrafficSpec> workload(char scen) {
+  auto shapes = scen == 'a' ? scenarios::fourAppLowTowardHigh(0, 0)
+                            : scenarios::fourAppHighTowardLow(0, 0);
+  static std::map<char, std::vector<double>> cache;
+  auto it = cache.find(scen);
+  if (it == cache.end()) {
+    const std::array<double, 4> fractions = {
+        scenarios::kLowLoadFraction, scenarios::kLowLoadFraction,
+        scenarios::kLowLoadFraction, scenarios::kHighLoadFraction};
+    it = cache
+             .emplace(scen, scenarios::calibrateLoads(mesh(), regions(),
+                                                      shapes, fractions,
+                                                      paperSatOptions()))
+             .first;
+  }
+  for (AppId a = 0; a < 4; ++a)
+    shapes[static_cast<size_t>(a)].injectionRate =
+        it->second[static_cast<size_t>(a)];
+  return shapes;
+}
+
+const ScenarioResult& cell(const SchemeSpec& scheme, char scen) {
+  const std::string key = scheme.label + "/" + scen;
+  return ResultStore::instance().scenario(key, [&, scen] {
+    return runScenario(mesh(), regions(), paperSimConfig(), scheme,
+                       workload(scen));
+  });
+}
+
+void printTable() {
+  for (char scen : {'a', 'b'}) {
+    std::printf("\n=== Fig. 12(%c): APL reduction vs RO_RR ===\n\n", scen);
+    const auto& base = cell(schemeRoRr(), scen);
+    TextTable t({"scheme", "App0", "App1", "App2", "App3", "mean"});
+    for (const auto& s : schemes()) {
+      if (s.policy == PolicyKind::RoundRobin) continue;
+      const auto& r = cell(s, scen);
+      const auto row = t.addRow();
+      t.set(row, 0, s.label);
+      double sum = 0;
+      for (AppId a = 0; a < 4; ++a) {
+        const double red = r.reductionVs(base, a);
+        t.setPct(row, 1 + static_cast<std::size_t>(a), red);
+        sum += red;
+      }
+      t.setPct(row, 5, sum / 4.0);
+    }
+    std::puts(t.toString().c_str());
+  }
+  std::printf("Paper reference: RAIR_ForeignH wins (a), RAIR_NativeH wins "
+              "(b); RAIR (DPA) reduces mean APL by ~12.8%% in (a) and "
+              "~12.2%% in (b), matching the better static choice in "
+              "both.\n");
+}
+
+}  // namespace
+}  // namespace rair::bench
+
+int main(int argc, char** argv) {
+  using namespace rair::bench;
+  for (const auto& s : schemes()) {
+    for (char scen : {'a', 'b'}) {
+      benchmark::RegisterBenchmark(
+          ("fig12/" + s.label + "/scenario=" + scen).c_str(),
+          [s, scen](benchmark::State& st) {
+            for (auto _ : st) setAplCounters(st, cell(s, scen));
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  return runBenchMain(argc, argv, printTable);
+}

@@ -1,0 +1,92 @@
+// Reproduces Fig. 14: the generic six-application RNoC scenario (Fig. 13)
+// under uniform-random global traffic.
+//
+// Six regions with differentiated loads (apps 1 and 5 high, the rest
+// 10-30% of saturation); each app's traffic is 75% intra-region UR, 20%
+// inter-region global, 5% to/from the corner memory controllers. Paper
+// reference: mean APL reduction vs RO_RR is ~3.4% for RA_DBAR, ~5.8% for
+// RO_Rank, and ~10.1% for RA_RAIR.
+#include "bench_common.h"
+
+namespace rair::bench {
+namespace {
+
+const Mesh& mesh() {
+  static Mesh m(8, 8);
+  return m;
+}
+const RegionMap& regions() {
+  static RegionMap rm = RegionMap::sixRegions(mesh());
+  return rm;
+}
+
+/// Per-app loads: each app's saturation measured on the full 75/20/5
+/// shape, with the two high-load apps (1 and 5) calibrated jointly in
+/// context (see scenarios::calibrateLoads).
+std::vector<double> resolvedRates() {
+  static std::vector<double> rates = [] {
+    const std::vector<double> dummy(6, 0.0);
+    const auto shapes =
+        scenarios::sixAppMixed(PatternKind::UniformRandom, dummy);
+    return scenarios::calibrateLoads(mesh(), regions(), shapes,
+                                     scenarios::sixAppLoadFractions(),
+                                     paperSatOptions());
+  }();
+  return rates;
+}
+
+std::vector<SchemeSpec> schemes() {
+  return {schemeRoRr(), schemeRaDbar(), schemeRoRank(), schemeRaRair()};
+}
+
+const ScenarioResult& cell(const SchemeSpec& scheme) {
+  return ResultStore::instance().scenario(scheme.label, [&] {
+    const auto rates = resolvedRates();
+    const auto apps =
+        scenarios::sixAppMixed(PatternKind::UniformRandom, rates);
+    return runScenario(mesh(), regions(), paperSimConfig(), scheme, apps);
+  });
+}
+
+void printTable() {
+  std::printf("\n=== Fig. 14: APL reduction vs RO_RR, six-app scenario, "
+              "uniform-random global traffic ===\n");
+  std::printf("resolved loads (flits/cycle/node):");
+  for (double r : resolvedRates()) std::printf(" %.3f", r);
+  std::printf("\n\n");
+  const auto& base = cell(schemeRoRr());
+  TextTable t({"scheme", "App0", "App1", "App2", "App3", "App4", "App5",
+               "mean"});
+  for (const auto& s : schemes()) {
+    if (s.policy == PolicyKind::RoundRobin &&
+        s.routing != RoutingKind::Dbar && s.label == "RO_RR")
+      continue;
+    const auto& r = cell(s);
+    const auto row = t.addRow();
+    t.set(row, 0, s.label);
+    for (AppId a = 0; a < 6; ++a)
+      t.setPct(row, 1 + static_cast<std::size_t>(a),
+               r.reductionVs(base, a));
+    t.setPct(row, 7, r.meanReductionVs(base));
+  }
+  std::puts(t.toString().c_str());
+  std::printf("Paper reference (mean): RA_DBAR +3.4%%, RO_Rank +5.8%%, "
+              "RA_RAIR +10.1%% (reductions).\n");
+}
+
+}  // namespace
+}  // namespace rair::bench
+
+int main(int argc, char** argv) {
+  using namespace rair::bench;
+  for (const auto& s : schemes()) {
+    benchmark::RegisterBenchmark(
+        ("fig14/" + s.label).c_str(),
+        [s](benchmark::State& st) {
+          for (auto _ : st) setAplCounters(st, cell(s));
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  return runBenchMain(argc, argv, printTable);
+}

@@ -1,0 +1,42 @@
+// Lightweight always-on invariant checking.
+//
+// The simulator is a measurement instrument: a silently-corrupted router
+// state produces wrong latency numbers rather than a crash, so structural
+// invariants are checked even in release builds (RAIR_CHECK). Hot-path
+// checks that profiling shows to matter can use RAIR_DCHECK, which compiles
+// away in NDEBUG builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rair::detail {
+
+[[noreturn]] inline void checkFailed(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "RAIR_CHECK failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace rair::detail
+
+#define RAIR_CHECK(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) ::rair::detail::checkFailed(#expr, __FILE__, __LINE__,    \
+                                             nullptr);                     \
+  } while (false)
+
+#define RAIR_CHECK_MSG(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) ::rair::detail::checkFailed(#expr, __FILE__, __LINE__,    \
+                                             msg);                         \
+  } while (false)
+
+#ifdef NDEBUG
+#define RAIR_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define RAIR_DCHECK(expr) RAIR_CHECK(expr)
+#endif

@@ -1,0 +1,99 @@
+#include "common/rng.h"
+
+namespace rair {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// SplitMix64: recommended seeder for xoshiro family.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& w : s_) w = splitmix64(sm);
+  // All-zero state is invalid for xoshiro; splitmix64 cannot produce four
+  // zero outputs from any seed, so no further check is needed.
+}
+
+Xoshiro256StarStar::result_type Xoshiro256StarStar::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256StarStar::below(std::uint64_t bound) {
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Xoshiro256StarStar::range(std::int64_t lo, std::int64_t hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Xoshiro256StarStar::real() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Xoshiro256StarStar::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return real() < p;
+}
+
+Xoshiro256StarStar Xoshiro256StarStar::split() {
+  // Jump polynomial for 2^128 steps (xoshiro256** reference constants).
+  static constexpr std::uint64_t kJump[] = {
+      0x180EC6D33CFD0ABAull, 0xD5A61266F0C9392Cull,
+      0xA9582618E03FC9AAull, 0x39ABDC4529B1661Cull};
+  Xoshiro256StarStar child(0);
+  // The child takes the post-jump state; this generator advances past it.
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ull << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (*this)();
+    }
+  }
+  child.s_[0] = s0;
+  child.s_[1] = s1;
+  child.s_[2] = s2;
+  child.s_[3] = s3;
+  // Guard against the (theoretically impossible from a valid parent,
+  // practically defensive) all-zero child state.
+  if ((s0 | s1 | s2 | s3) == 0) child = Xoshiro256StarStar{0xDEADBEEFull};
+  return child;
+}
+
+}  // namespace rair

@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulator (traffic generation, packet
+// length selection, tie-breaking randomization in tests) flows through
+// Xoshiro256StarStar so that a given seed reproduces a bit-identical
+// simulation. The engine satisfies the C++ UniformRandomBitGenerator
+// concept, but we provide our own bounded/real helpers because libstdc++'s
+// std::uniform_int_distribution is not guaranteed to be reproducible
+// across library versions.
+#pragma once
+
+#include <cstdint>
+
+namespace rair {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation, re-expressed in C++). Fast, 256-bit state, passes BigCrush.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit state words from a single seed value via
+  /// SplitMix64, per the authors' recommendation.
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit output.
+  result_type operator()();
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double real();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Creates an independent generator by jumping this one's sequence
+  /// forward 2^128 steps; useful for giving each node its own stream.
+  Xoshiro256StarStar split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace rair

@@ -1,0 +1,34 @@
+// Fundamental scalar types shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rair {
+
+/// Simulation time, in router clock cycles.
+using Cycle = std::uint64_t;
+
+/// Index of a node (core / router / NIC triple) in the topology.
+/// Nodes are numbered row-major: id = y * width + x.
+using NodeId = std::int32_t;
+
+/// Identifier of an application (equivalently, of the region it is mapped
+/// to). Every packet carries the AppId of the application that produced it
+/// and every router is tagged with the AppId mapped onto its node; the pair
+/// decides native vs. foreign classification (paper Sec. IV.E).
+using AppId = std::int16_t;
+
+/// Monotonically increasing packet identifier, unique within a simulation.
+using PacketId = std::uint64_t;
+
+/// Sentinel AppId for nodes that host no application (e.g. unused nodes).
+inline constexpr AppId kNoApp = -1;
+
+/// Sentinel for "not a node".
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Sentinel cycle value meaning "never" / "not yet".
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+}  // namespace rair

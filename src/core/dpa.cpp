@@ -1,0 +1,29 @@
+#include "core/dpa.h"
+
+#include <limits>
+
+namespace rair {
+
+void DpaState::update(const RouterOccupancy& occ) {
+  if (occ.nativeOccupiedVcs == 0 && occ.foreignOccupiedVcs == 0) {
+    // No information this cycle; hold the current state.
+    return;
+  }
+  double r;
+  if (occ.nativeOccupiedVcs == 0) {
+    // Foreign-only occupancy: native intensity is zero, i.e. maximally
+    // critical relative to foreign -> ratio is effectively infinite.
+    r = std::numeric_limits<double>::infinity();
+  } else {
+    r = static_cast<double>(occ.foreignOccupiedVcs) /
+        static_cast<double>(occ.nativeOccupiedVcs);
+  }
+  lastRatio_ = r;
+  if (!nativeHigh_ && r > 1.0 + delta_) {
+    nativeHigh_ = true;
+  } else if (nativeHigh_ && r < 1.0 - delta_) {
+    nativeHigh_ = false;
+  }
+}
+
+}  // namespace rair

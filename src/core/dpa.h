@@ -1,0 +1,52 @@
+// Dynamic Priority Adaptation (paper Sec. IV.C).
+//
+// Each router keeps two registers: OVC_n and OVC_f, the number of occupied
+// input VCs holding native resp. foreign traffic, counted over ALL input
+// ports. The ratio r = OVC_f / OVC_n estimates the relative intensity of
+// the two flows: a large r means foreign traffic occupies far more buffer
+// resources, i.e. native traffic has comparatively low intensity and (per
+// the STC insight) higher criticality, so native should be prioritized.
+//
+// The priority transitions through a hysteresis band of width Δ to
+// tolerate temporal variance of VC occupancy:
+//
+//   native LOW  -> HIGH  when r > 1 + Δ
+//   native HIGH -> LOW   when r < 1 - Δ
+//
+// The default state gives foreign traffic high priority, reflecting that
+// global traffic is usually more performance-critical (RB-3: foreign
+// traffic is the low-intensity minority). The negative feedback between
+// priority and occupancy is what provides starvation freedom (Sec. IV.D):
+// whichever flow over-consumes resources loses priority.
+#pragma once
+
+#include "common/types.h"
+#include "policy/policy.h"
+
+namespace rair {
+
+/// The DPA hysteresis register pair and comparator of one router.
+class DpaState final : public PolicyState {
+ public:
+  explicit DpaState(double hysteresisDelta) : delta_(hysteresisDelta) {}
+
+  /// Feeds the occupancy snapshot of the previous cycle; advances the
+  /// hysteresis state machine.
+  void update(const RouterOccupancy& occ);
+
+  /// True when native traffic currently holds the high priority.
+  bool nativeHigh() const { return nativeHigh_; }
+
+  /// Last ratio fed to the comparator (for introspection/tests);
+  /// +infinity when OVC_n was 0 and OVC_f > 0.
+  double lastRatio() const { return lastRatio_; }
+
+  double delta() const { return delta_; }
+
+ private:
+  double delta_;
+  bool nativeHigh_ = false;  ///< default: foreign high (paper Sec. IV.C)
+  double lastRatio_ = 0.0;
+};
+
+}  // namespace rair

@@ -1,0 +1,30 @@
+// Configuration of the RAIR technique.
+#pragma once
+
+#include <cstdint>
+
+namespace rair {
+
+/// How the relative priority between native and foreign traffic is chosen
+/// (paper Sec. IV.C / Sec. V.D ablation).
+enum class DpaMode : std::uint8_t {
+  Dynamic,      ///< full DPA: hysteresis on OVC_f / OVC_n (the proposal)
+  NativeHigh,   ///< ablation: native traffic always high priority
+  ForeignHigh,  ///< ablation: foreign traffic always high priority
+};
+
+/// Tunables of the RAIR technique. Defaults follow the paper.
+struct RairConfig {
+  DpaMode dpaMode = DpaMode::Dynamic;
+
+  /// Multi-stage prioritization: stages at which the region-aware rules
+  /// are enforced (Sec. V.B evaluates VA-only against VA+SA).
+  bool applyAtVa = true;
+  bool applyAtSa = true;
+
+  /// Hysteresis width Δ of the DPA priority transition (Sec. IV.C: values
+  /// in 0.1–0.3 work well; best around 0.2).
+  double hysteresisDelta = 0.2;
+};
+
+}  // namespace rair

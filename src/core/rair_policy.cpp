@@ -1,0 +1,52 @@
+#include "core/rair_policy.h"
+
+namespace rair {
+
+RairPolicy::RairPolicy(RairConfig config) : config_(config) {}
+
+const char* RairPolicy::name() const {
+  switch (config_.dpaMode) {
+    case DpaMode::NativeHigh: return "RAIR_NativeH";
+    case DpaMode::ForeignHigh: return "RAIR_ForeignH";
+    case DpaMode::Dynamic: break;
+  }
+  if (config_.applyAtVa && !config_.applyAtSa) return "RAIR_VA";
+  return "RA_RAIR";
+}
+
+std::unique_ptr<PolicyState> RairPolicy::makeState() const {
+  return std::make_unique<DpaState>(config_.hysteresisDelta);
+}
+
+void RairPolicy::updateState(PolicyState* state,
+                             const RouterOccupancy& occ) const {
+  static_cast<DpaState*>(state)->update(occ);
+}
+
+bool RairPolicy::nativeHasHighPriority(const PolicyState* state) const {
+  switch (config_.dpaMode) {
+    case DpaMode::NativeHigh: return true;
+    case DpaMode::ForeignHigh: return false;
+    case DpaMode::Dynamic:
+      return static_cast<const DpaState*>(state)->nativeHigh();
+  }
+  return false;
+}
+
+std::uint64_t RairPolicy::priority(ArbStage stage, const ArbCandidate& cand,
+                                   const PolicyState* state) const {
+  if (stage == ArbStage::VaOut) {
+    if (!config_.applyAtVa) return 0;
+    if (cand.outVcClass == VcClass::Global) {
+      // VC regionalization: global VCs always favor foreign traffic.
+      return cand.native ? 0 : 1;
+    }
+    // Regional (and escape) output VCs follow the DPA decision.
+  } else {
+    if (!config_.applyAtSa) return 0;
+  }
+  const bool nativeHigh = nativeHasHighPriority(state);
+  return (cand.native == nativeHigh) ? 1 : 0;
+}
+
+}  // namespace rair

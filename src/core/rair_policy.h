@@ -1,0 +1,53 @@
+// RAIR: Region-Aware Interference Reduction (paper Sec. IV).
+//
+// This policy composes the paper's three mechanisms:
+//
+//  1. VC regionalization — the VcLayout tags adaptive VCs Regional or
+//     Global. At VA output arbitration, an output VC tagged Global always
+//     favors foreign traffic over native traffic (global traffic is the
+//     critical, low-intensity minority); an output VC tagged Regional (or
+//     the escape VC) follows the DPA decision.
+//
+//  2. Multi-stage prioritization (MSP) — the same region-aware rule is
+//     enforced at VA_out, SA_in and SA_out. The `applyAtVa` / `applyAtSa`
+//     switches reproduce the paper's RAIR_VA vs RAIR_VA+SA ablation
+//     (Fig. 9). VA input arbitration is untouched (no inter-flow
+//     contention there). A consistent priority — the one DPA computed in
+//     the previous cycle — is used in all stages of a given cycle.
+//
+//  3. Dynamic priority adaptation (DPA) — see core/dpa.h. The NativeHigh /
+//     ForeignHigh modes reproduce the Fig. 12 ablation.
+//
+// Within the same priority level (e.g. among multiple foreign flows from
+// different applications) the arbiter's round-robin tie-break applies —
+// exactly the paper's "simple fair arbitration within the foreign traffic".
+#pragma once
+
+#include "core/dpa.h"
+#include "core/rair_config.h"
+#include "policy/policy.h"
+
+namespace rair {
+
+class RairPolicy final : public ArbiterPolicy {
+ public:
+  explicit RairPolicy(RairConfig config = {});
+
+  const char* name() const override;
+
+  std::unique_ptr<PolicyState> makeState() const override;
+  void updateState(PolicyState* state,
+                   const RouterOccupancy& occ) const override;
+  std::uint64_t priority(ArbStage stage, const ArbCandidate& cand,
+                         const PolicyState* state) const override;
+
+  const RairConfig& config() const { return config_; }
+
+ private:
+  /// Whether native traffic holds high priority under the configured mode.
+  bool nativeHasHighPriority(const PolicyState* state) const;
+
+  RairConfig config_;
+};
+
+}  // namespace rair

@@ -1,0 +1,37 @@
+#include "packet/packet.h"
+
+namespace rair {
+
+std::vector<Flit> packetToFlits(const Packet& p) {
+  RAIR_CHECK(p.numFlits >= 1);
+  std::vector<Flit> flits;
+  flits.reserve(p.numFlits);
+  for (std::uint16_t i = 0; i < p.numFlits; ++i) {
+    Flit f;
+    f.pkt = p.id;
+    f.src = p.src;
+    f.dst = p.dst;
+    f.app = p.app;
+    f.msgClass = p.msgClass;
+    f.seq = i;
+    f.pktFlits = p.numFlits;
+    f.createCycle = p.createCycle;
+    if (p.numFlits == 1) {
+      f.type = FlitType::HeadTail;
+    } else if (i == 0) {
+      f.type = FlitType::Head;
+    } else if (i + 1 == p.numFlits) {
+      f.type = FlitType::Tail;
+    } else {
+      f.type = FlitType::Body;
+    }
+    flits.push_back(f);
+  }
+  return flits;
+}
+
+std::uint16_t drawBimodalLength(Xoshiro256StarStar& rng) {
+  return rng.chance(0.5) ? kShortPacketFlits : kLongPacketFlits;
+}
+
+}  // namespace rair

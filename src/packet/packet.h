@@ -1,0 +1,98 @@
+// Packets, flits and message classes.
+//
+// A packet is the unit of end-to-end communication; it is serialized into
+// flits for wormhole switching. Per the paper's synthetic setup (Sec. V.A),
+// packets come in two lengths: short 16-byte single-flit packets and long
+// packets carrying 64 bytes of data plus a head flit (5 flits) on 128-bit
+// links.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace rair {
+
+/// Coherence-protocol message class. Each class gets its own set of
+/// virtual channels (Table 1: "4 per protocol class") so request/reply
+/// dependences cannot deadlock in the network.
+enum class MsgClass : std::uint8_t { Request = 0, Reply = 1 };
+
+inline constexpr int kMaxMsgClasses = 4;
+
+/// Flit lengths used by the paper's synthetic traffic (Sec. V.A).
+inline constexpr std::uint16_t kShortPacketFlits = 1;  ///< 16B control
+inline constexpr std::uint16_t kLongPacketFlits = 5;   ///< head + 64B data
+
+/// End-to-end metadata of one packet. The authoritative copy lives in the
+/// simulator's packet ledger; routers work from the denormalized fields
+/// carried on each flit.
+struct Packet {
+  PacketId id = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  AppId app = kNoApp;
+  MsgClass msgClass = MsgClass::Request;
+  std::uint16_t numFlits = 1;
+
+  Cycle createCycle = 0;  ///< generated at the source NIC (enters queue)
+  Cycle injectCycle = kNeverCycle;  ///< head flit entered the router network
+  Cycle ejectCycle = kNeverCycle;   ///< tail flit delivered at destination
+  std::uint16_t hops = 0;           ///< router-to-router hops taken
+
+  /// Total latency as reported in the paper's APL figures: generation to
+  /// delivery, including source queuing delay.
+  Cycle totalLatency() const {
+    RAIR_DCHECK(ejectCycle != kNeverCycle);
+    return ejectCycle - createCycle;
+  }
+
+  /// In-network latency only (injection to delivery).
+  Cycle networkLatency() const {
+    RAIR_DCHECK(ejectCycle != kNeverCycle && injectCycle != kNeverCycle);
+    return ejectCycle - injectCycle;
+  }
+};
+
+enum class FlitType : std::uint8_t {
+  Head,      ///< first flit of a multi-flit packet; carries routing info
+  Body,      ///< middle flit
+  Tail,      ///< last flit; releases VCs behind it
+  HeadTail,  ///< single-flit packet
+};
+
+inline bool isHead(FlitType t) {
+  return t == FlitType::Head || t == FlitType::HeadTail;
+}
+inline bool isTail(FlitType t) {
+  return t == FlitType::Tail || t == FlitType::HeadTail;
+}
+
+/// One flow-control unit. Flits carry a denormalized copy of the fields
+/// routers and arbitration policies need, so the hot path never touches
+/// the packet ledger.
+struct Flit {
+  PacketId pkt = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  AppId app = kNoApp;
+  MsgClass msgClass = MsgClass::Request;
+  FlitType type = FlitType::HeadTail;
+  std::uint16_t seq = 0;       ///< position within the packet, 0-based
+  std::uint16_t pktFlits = 1;  ///< total flits in the packet
+  std::uint16_t hops = 0;      ///< routers traversed so far (head flit only)
+  Cycle createCycle = 0;       ///< copied from the packet (age-based arb)
+};
+
+/// Serializes a packet into its flit sequence.
+std::vector<Flit> packetToFlits(const Packet& p);
+
+/// Draws a packet length from the paper's bimodal distribution: short and
+/// long packets each chosen with probability 1/2 ("packets are uniformly
+/// assigned two lengths").
+std::uint16_t drawBimodalLength(Xoshiro256StarStar& rng);
+
+}  // namespace rair

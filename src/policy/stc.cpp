@@ -1,0 +1,53 @@
+#include "policy/stc.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.h"
+
+namespace rair {
+
+StcRankPolicy::StcRankPolicy(std::vector<int> ranks, Cycle batchPeriod)
+    : ranks_(std::move(ranks)), batchPeriod_(batchPeriod) {
+  RAIR_CHECK(batchPeriod_ >= 1);
+  worstRank_ = 0;
+  for (int r : ranks_) {
+    RAIR_CHECK(r >= 0);
+    worstRank_ = std::max(worstRank_, r);
+  }
+  ++worstRank_;  // apps outside the table rank below every ranked app
+}
+
+int StcRankPolicy::rankOf(AppId app) const {
+  if (app < 0 || static_cast<size_t>(app) >= ranks_.size()) return worstRank_;
+  return ranks_[static_cast<size_t>(app)];
+}
+
+std::uint64_t StcRankPolicy::priority(ArbStage /*stage*/,
+                                      const ArbCandidate& cand,
+                                      const PolicyState* /*state*/) const {
+  // Older batch strictly outranks younger; within a batch, application
+  // rank decides; within an application, the arbiter round-robins.
+  const Cycle batch = cand.flit->createCycle / batchPeriod_;
+  constexpr std::uint64_t kBatchMask = (1ull << 48) - 1;
+  const std::uint64_t batchKey = (~batch) & kBatchMask;  // older -> larger
+  const auto rank = static_cast<std::uint64_t>(rankOf(cand.flit->app));
+  const std::uint64_t rankKey = 0xFFFFull - std::min<std::uint64_t>(rank, 0xFFFE);
+  return (batchKey << 16) | rankKey;
+}
+
+std::vector<int> StcRankPolicy::ranksFromIntensities(
+    const std::vector<double>& intensities) {
+  std::vector<int> order(intensities.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return intensities[static_cast<size_t>(a)] <
+           intensities[static_cast<size_t>(b)];
+  });
+  std::vector<int> ranks(intensities.size());
+  for (size_t pos = 0; pos < order.size(); ++pos)
+    ranks[static_cast<size_t>(order[pos])] = static_cast<int>(pos);
+  return ranks;
+}
+
+}  // namespace rair

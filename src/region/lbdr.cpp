@@ -1,0 +1,72 @@
+#include "region/lbdr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace rair {
+
+bool lbdrMappingValid(const RegionMap& map, std::span<const NodeId> mcNodes) {
+  std::vector<bool> hasMc(static_cast<size_t>(map.numApps()), false);
+  for (NodeId mc : mcNodes) {
+    const AppId a = map.appOf(mc);
+    if (a != kNoApp) hasMc[static_cast<size_t>(a)] = true;
+  }
+  return std::all_of(hasMc.begin(), hasMc.end(), [](bool b) { return b; });
+}
+
+bool lbdrPacketAllowed(const RegionMap& map, NodeId src, NodeId dst) {
+  return map.sameRegion(src, dst);
+}
+
+namespace {
+
+double logFactorial(int n) { return std::lgamma(static_cast<double>(n) + 1); }
+
+/// Sum over all ways to give each remaining app between 1 and
+/// threadsPerApp of the remaining MC cores; accumulates the count of
+/// valid assignments in log-free (plain) space via exp of log terms.
+double validCount(int appsLeft, int mcsLeft, int nonMcsLeft,
+                  int threadsPerApp) {
+  if (appsLeft == 0) return (mcsLeft == 0 && nonMcsLeft == 0) ? 1.0 : 0.0;
+  double total = 0.0;
+  const int maxMc = std::min(mcsLeft, threadsPerApp);
+  for (int mi = 1; mi <= maxMc; ++mi) {
+    const int ni = threadsPerApp - mi;  // non-MC cores this app takes
+    if (ni > nonMcsLeft) continue;
+    // Choose which MC cores and which non-MC cores this app receives.
+    const double choose =
+        std::exp(logFactorial(mcsLeft) - logFactorial(mi) -
+                 logFactorial(mcsLeft - mi) + logFactorial(nonMcsLeft) -
+                 logFactorial(ni) - logFactorial(nonMcsLeft - ni));
+    total += choose *
+             validCount(appsLeft - 1, mcsLeft - mi, nonMcsLeft - ni,
+                        threadsPerApp);
+  }
+  return total;
+}
+
+}  // namespace
+
+double lbdrValidMappingFraction(int numCores, int numMcs, int numApps,
+                                int threadsPerApp) {
+  RAIR_CHECK(numCores >= 1 && numMcs >= 0 && numApps >= 1 &&
+             threadsPerApp >= 1);
+  RAIR_CHECK_MSG(numApps * threadsPerApp == numCores,
+                 "counting model assumes a full partition of the cores");
+  RAIR_CHECK(numMcs <= numCores);
+  if (numMcs < numApps) return 0.0;  // some app can never get an MC
+
+  // Total mappings: partition numCores distinguishable cores into numApps
+  // labeled groups of threadsPerApp each.
+  double logTotal = logFactorial(numCores) -
+                    numApps * logFactorial(threadsPerApp);
+  const double valid =
+      validCount(numApps, numMcs, numCores - numMcs, threadsPerApp);
+  if (valid <= 0.0) return 0.0;
+  return valid / std::exp(logTotal);
+}
+
+}  // namespace rair

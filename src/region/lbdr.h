@@ -1,0 +1,46 @@
+// LBDR-style restricted regionalization (paper Sec. III.B).
+//
+// Logic-Based Distributed Routing [Flich et al., NOCS'08; Trivino et al.,
+// MICRO+MICROSYS'11] reduces inter-region interference by *confining* every
+// application's packets to its own region. The price is a hard placement
+// constraint: since applications must still reach memory, every region has
+// to contain at least one memory controller, which invalidates most
+// application-to-core mappings — the paper computes that with 16 cores,
+// 4 MCs and 4 four-thread applications only ~14% of mappings are viable.
+//
+// This module reproduces that restricted baseline so its limitations can
+// be quantified against RAIR:
+//  * validity checking of a RegionMap under the LBDR constraint,
+//  * exact counting of valid vs. total placements (the paper's 14%),
+//  * a traffic-legality filter (intra-region packets only).
+#pragma once
+
+#include <cstdint>
+
+#include "region/region_map.h"
+
+namespace rair {
+
+/// Checks the LBDR placement constraint: every application's region must
+/// contain at least one of the `mcNodes`.
+bool lbdrMappingValid(const RegionMap& map, std::span<const NodeId> mcNodes);
+
+/// Whether a packet from `src` to `dst` is routable at all under LBDR
+/// (both endpoints inside the same region).
+bool lbdrPacketAllowed(const RegionMap& map, NodeId src, NodeId dst);
+
+/// Exact fraction of application-to-core mappings that satisfy the LBDR
+/// constraint when `numApps` applications of `threadsPerApp` threads each
+/// are placed on `numCores` cores of which `numMcs` host a memory
+/// controller (MC positions are fixed; threads are interchangeable within
+/// an application, applications are distinct). This is the closed-form
+/// computation behind the paper's "~14%" example (16 cores, 4 MCs,
+/// 4 apps x 4 threads).
+///
+/// Counting model (matching the paper's formula): every core is assigned
+/// to exactly one application (numApps * threadsPerApp == numCores); a
+/// mapping is valid when each application receives at least one MC core.
+double lbdrValidMappingFraction(int numCores, int numMcs, int numApps,
+                                int threadsPerApp);
+
+}  // namespace rair

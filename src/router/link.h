@@ -1,0 +1,83 @@
+// Inter-router channels: fixed-latency delay pipes for flits (forward) and
+// credits (backward).
+//
+// A Link models one physical channel between an upstream port and a
+// downstream port: at most one flit enters per cycle, arrives
+// `latency` cycles later, and credits flow the opposite way with the same
+// latency. NIC<->router connections reuse the same type.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/assert.h"
+#include "common/types.h"
+#include "packet/packet.h"
+
+namespace rair {
+
+/// FIFO whose elements become visible `latency` cycles after insertion.
+template <typename T>
+class DelayPipe {
+ public:
+  explicit DelayPipe(Cycle latency = 1) : latency_(latency) {
+    RAIR_CHECK(latency >= 1);
+  }
+
+  /// Enqueue `v` at time `now`; it becomes poppable at now + latency.
+  void push(Cycle now, T v) {
+    RAIR_DCHECK(q_.empty() || q_.back().first <= now + latency_);
+    q_.emplace_back(now + latency_, std::move(v));
+  }
+
+  /// Pops the front element if it has arrived by `now`.
+  std::optional<T> pop(Cycle now) {
+    if (q_.empty() || q_.front().first > now) return std::nullopt;
+    T v = std::move(q_.front().second);
+    q_.pop_front();
+    return v;
+  }
+
+  bool empty() const { return q_.empty(); }
+  std::size_t size() const { return q_.size(); }
+
+ private:
+  Cycle latency_;
+  std::deque<std::pair<Cycle, T>> q_;
+};
+
+/// A flit in flight, tagged with its downstream virtual channel.
+struct FlitMsg {
+  Flit flit;
+  int vc = 0;
+};
+
+/// A credit returning upstream: one buffer slot freed in `vc`.
+struct CreditMsg {
+  int vc = 0;
+};
+
+/// One directed physical channel plus its reverse credit wires.
+class Link {
+ public:
+  explicit Link(Cycle latency = 1) : data_(latency), credits_(latency) {}
+
+  // Upstream side.
+  void sendFlit(Cycle now, Flit f, int vc) {
+    data_.push(now, FlitMsg{std::move(f), vc});
+  }
+  std::optional<CreditMsg> recvCredit(Cycle now) { return credits_.pop(now); }
+
+  // Downstream side.
+  std::optional<FlitMsg> recvFlit(Cycle now) { return data_.pop(now); }
+  void sendCredit(Cycle now, int vc) { credits_.push(now, CreditMsg{vc}); }
+
+  bool idle() const { return data_.empty() && credits_.empty(); }
+
+ private:
+  DelayPipe<FlitMsg> data_;
+  DelayPipe<CreditMsg> credits_;
+};
+
+}  // namespace rair

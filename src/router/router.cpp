@@ -1,0 +1,392 @@
+#include "router/router.h"
+
+#include <algorithm>
+
+namespace rair {
+
+namespace {
+constexpr int portIdx(Dir d) { return static_cast<int>(d); }
+}  // namespace
+
+Router::Router(NodeId id, AppId appTag, const RouterConfig& config,
+               const Mesh& mesh, const RoutingAlgorithm& routing,
+               const ArbiterPolicy& policy, const CongestionView& congestion)
+    : id_(id),
+      appTag_(appTag),
+      layout_(config.layout),
+      vcDepth_(config.vcDepth),
+      atomicVcs_(config.atomicVcs),
+      mesh_(&mesh),
+      routing_(&routing),
+      policy_(&policy),
+      congestion_(&congestion),
+      policyState_(policy.makeState()) {
+  RAIR_CHECK(vcDepth_ >= 1);
+  const auto slots = static_cast<size_t>(kNumPorts * layout_.totalVcs());
+  inputs_.resize(slots);
+  outputs_.resize(slots);
+  for (auto& o : outputs_) o.credits = vcDepth_;
+  vaRr_.assign(slots, 0);
+}
+
+void Router::connectIn(Dir p, Link* link) { inLinks_[portIdx(p)] = link; }
+void Router::connectOut(Dir p, Link* link) { outLinks_[portIdx(p)] = link; }
+
+bool Router::outVcAvailable(int port, int vc, int flitsNeeded) const {
+  if (outLinks_[static_cast<size_t>(port)] == nullptr) return false;
+  const OutputVc& o = outVc(port, vc);
+  if (o.allocated) return false;
+  if (atomicVcs_ || layout_.isEscape(vc)) return o.credits == vcDepth_;
+  // Non-atomic: the whole packet must fit behind whatever is queued, so a
+  // committed packet never depends on other packets to drain (deadlock
+  // safety; see the header comment).
+  return o.credits >= flitsNeeded;
+}
+
+int Router::freeAdaptiveOutVcs(Dir p) const {
+  const int port = portIdx(p);
+  if (outLinks_[static_cast<size_t>(port)] == nullptr) return 0;
+  int n = 0;
+  for (int vc = 0; vc < layout_.totalVcs(); ++vc) {
+    if (layout_.isAdaptive(vc) && outVcAvailable(port, vc, 1)) ++n;
+  }
+  return n;
+}
+
+RouterOccupancy Router::occupancy() const {
+  RouterOccupancy occ;
+  for (const auto& ivc : inputs_) {
+    if (ivc.buf.empty()) continue;
+    (isNative(ivc.buf.front()) ? occ.nativeOccupiedVcs
+                               : occ.foreignOccupiedVcs)++;
+  }
+  return occ;
+}
+
+bool Router::quiescent() const {
+  for (const auto& ivc : inputs_) {
+    if (ivc.state != VcState::Idle || !ivc.buf.empty()) return false;
+  }
+  for (const auto& ovc : outputs_) {
+    if (ovc.allocated) return false;
+  }
+  return true;
+}
+
+void Router::beginCycle(Cycle now) {
+  // DPA and friends consume the occupancy measured at the END of the
+  // previous cycle (Sec. IV.E: the priority from the previous cycle is
+  // used, removing DPA from the critical path).
+  if (policyState_) policy_->updateState(policyState_.get(), prevOccupancy_);
+
+  for (int port = 0; port < kNumPorts; ++port) {
+    if (Link* in = inLinks_[static_cast<size_t>(port)]) {
+      while (auto msg = in->recvFlit(now)) {
+        InputVc& ivc = inVc(port, msg->vc);
+        RAIR_CHECK_MSG(static_cast<int>(ivc.buf.size()) < vcDepth_,
+                       "input VC buffer overflow (credit protocol broken)");
+        Flit f = msg->flit;
+        if (isHead(f.type)) {
+          ++f.hops;
+          if (ivc.buf.empty()) {
+            RAIR_CHECK_MSG(ivc.state == VcState::Idle,
+                           "empty VC must be idle");
+            ivc.state = VcState::Routing;
+            ivc.ready = now + 1;  // BW stage: RC may run next cycle
+          } else {
+            // Non-atomic VC: the packet queues behind the one in flight;
+            // its RC starts when it reaches the buffer head.
+            RAIR_CHECK_MSG(!atomicVcs_,
+                           "head arrived at a non-empty atomic VC");
+          }
+        }
+        ivc.buf.push_back(f);
+      }
+    }
+    if (Link* out = outLinks_[static_cast<size_t>(port)]) {
+      while (auto credit = out->recvCredit(now)) {
+        OutputVc& o = outVc(port, credit->vc);
+        ++o.credits;
+        RAIR_CHECK_MSG(o.credits <= vcDepth_, "credit overflow");
+      }
+    }
+  }
+}
+
+void Router::routeCompute(Cycle now) {
+  for (int port = 0; port < kNumPorts; ++port) {
+    for (int vc = 0; vc < layout_.totalVcs(); ++vc) {
+      InputVc& ivc = inVc(port, vc);
+      if (ivc.state != VcState::Routing || ivc.ready > now) continue;
+      RAIR_DCHECK(!ivc.buf.empty() && isHead(ivc.buf.front().type));
+      ivc.route = routing_->computeCandidates(*mesh_, id_, ivc.buf.front());
+      ivc.state = VcState::WaitingVa;
+      ivc.ready = now + 1;
+    }
+  }
+}
+
+int Router::pickAdaptiveVc(int port, const Flit& f) const {
+  const int base = layout_.firstVcOf(f.msgClass);
+  const int end = base + layout_.vcsPerClass();
+  const int need = f.pktFlits;
+  if (!layout_.rairPartition()) {
+    for (int vc = base + 1; vc < end; ++vc) {  // skip escape at `base`
+      if (outVcAvailable(port, vc, need)) return vc;
+    }
+    return -1;
+  }
+  // RAIR VC regionalization: both classes are usable by any traffic, but
+  // foreign (global) packets try Global VCs first and native packets
+  // Regional VCs first, so each flow lands in the VC class whose
+  // prioritization rule favors it when both are free.
+  const VcClass preferred =
+      isNative(f) ? VcClass::Regional : VcClass::Global;
+  int fallback = -1;
+  for (int vc = base + 1; vc < end; ++vc) {
+    if (!outVcAvailable(port, vc, need)) continue;
+    if (layout_.typeOf(vc) == preferred) return vc;
+    if (fallback < 0) fallback = vc;
+  }
+  return fallback;
+}
+
+bool Router::selectOutputVc(Cycle now, int inPort, int inVcIdx,
+                            VaRequest& out) {
+  InputVc& ivc = inVc(inPort, inVcIdx);
+  const Flit& head = ivc.buf.front();
+  out.inPort = inPort;
+  out.inVc = inVcIdx;
+
+  if (ivc.route.ejecting) {
+    // Delivery through the Local port; any VC of the packet's class works
+    // (the NIC sink cannot deadlock), adaptive VCs preferred.
+    const int port = portIdx(Dir::Local);
+    int vc = pickAdaptiveVc(port, head);
+    if (vc < 0) {
+      const int escape = layout_.firstVcOf(head.msgClass);
+      if (outVcAvailable(port, escape, head.pktFlits)) vc = escape;
+    }
+    if (vc < 0) return false;
+    out.outPort = port;
+    out.outVc = vc;
+    return true;
+  }
+
+  // Selection function: order the productive directions by current
+  // congestion information, then take the first with a free adaptive VC.
+  RouteResult ordered = ivc.route;
+  routing_->orderBySelection(*mesh_, *congestion_, id_, head, ordered);
+  for (int i = 0; i < ordered.numAdaptive; ++i) {
+    const int port = portIdx(ordered.adaptiveDirs[i]);
+    const int vc = pickAdaptiveVc(port, head);
+    if (vc >= 0) {
+      out.outPort = port;
+      out.outVc = vc;
+      return true;
+    }
+  }
+  // Fall back to the escape VC on the dimension-ordered direction
+  // (Duato's protocol: always eventually available).
+  const int escPort = portIdx(ivc.route.escapeDir);
+  const int escVc = layout_.firstVcOf(head.msgClass);
+  if (outVcAvailable(escPort, escVc, head.pktFlits)) {
+    out.outPort = escPort;
+    out.outVc = escVc;
+    return true;
+  }
+  (void)now;
+  return false;
+}
+
+ArbCandidate Router::makeCandidate(const Flit& f, VcClass outClass,
+                                   Cycle now) const {
+  ArbCandidate c;
+  c.flit = &f;
+  c.routerApp = appTag_;
+  c.outVcClass = outClass;
+  c.native = isNative(f);
+  c.now = now;
+  return c;
+}
+
+void Router::vcAllocate(Cycle now) {
+  vaRequests_.clear();
+  // VA input arbitration: each WaitingVa VC independently selects one
+  // output VC to request. No inter-flow contention; no policy hook.
+  for (int port = 0; port < kNumPorts; ++port) {
+    for (int vc = 0; vc < layout_.totalVcs(); ++vc) {
+      InputVc& ivc = inVc(port, vc);
+      if (ivc.state != VcState::WaitingVa || ivc.ready > now) continue;
+      VaRequest req;
+      if (selectOutputVc(now, port, vc, req)) vaRequests_.push_back(req);
+    }
+  }
+
+  // VA output arbitration: one winner per contested output VC, chosen by
+  // policy priority with round-robin tie-break over input-VC ids.
+  // Group requests by output VC (requests are few; linear scan is fine).
+  std::sort(vaRequests_.begin(), vaRequests_.end(),
+            [](const VaRequest& a, const VaRequest& b) {
+              if (a.outPort != b.outPort) return a.outPort < b.outPort;
+              return a.outVc < b.outVc;
+            });
+  const int totalVcs = layout_.totalVcs();
+  for (size_t i = 0; i < vaRequests_.size();) {
+    size_t j = i;
+    while (j < vaRequests_.size() &&
+           vaRequests_[j].outPort == vaRequests_[i].outPort &&
+           vaRequests_[j].outVc == vaRequests_[i].outVc) {
+      ++j;
+    }
+    const int outPort = vaRequests_[i].outPort;
+    const int outVcIdx = vaRequests_[i].outVc;
+    const VcClass outClass = layout_.typeOf(outVcIdx);
+    // Find the max-priority request; ties resolved round-robin by flat
+    // input VC id relative to the per-output-VC pointer.
+    const size_t rrSlot = static_cast<size_t>(outPort * totalVcs + outVcIdx);
+    const int rrFrom = vaRr_[rrSlot];
+    std::uint64_t bestPrio = 0;
+    int bestDist = -1;
+    size_t best = i;
+    for (size_t k = i; k < j; ++k) {
+      const auto& r = vaRequests_[k];
+      const InputVc& ivc = inVc(r.inPort, r.inVc);
+      const std::uint64_t prio = policy_->priority(
+          ArbStage::VaOut, makeCandidate(ivc.buf.front(), outClass, now),
+          policyState_.get());
+      const int flatId = r.inPort * totalVcs + r.inVc;
+      const int dist =
+          (flatId - rrFrom + kNumPorts * totalVcs) % (kNumPorts * totalVcs);
+      // Prefer higher priority; among equals, smaller round-robin distance.
+      if (bestDist < 0 || prio > bestPrio ||
+          (prio == bestPrio && dist < bestDist)) {
+        bestPrio = prio;
+        bestDist = dist;
+        best = k;
+      }
+    }
+    const auto& win = vaRequests_[best];
+    InputVc& ivc = inVc(win.inPort, win.inVc);
+    OutputVc& ovc = outVc(win.outPort, win.outVc);
+    (isNative(ivc.buf.front()) ? counters_.vaGrantsNative
+                               : counters_.vaGrantsForeign)++;
+    if (layout_.isEscape(win.outVc)) ++counters_.escapeAllocations;
+    RAIR_DCHECK(
+        outVcAvailable(win.outPort, win.outVc,
+                       inVc(win.inPort, win.inVc).buf.front().pktFlits));
+    ovc.allocated = true;
+    ovc.ownerPort = win.inPort;
+    ovc.ownerVc = win.inVc;
+    ivc.state = VcState::Active;
+    ivc.outPort = win.outPort;
+    ivc.outVc = win.outVc;
+    ivc.ready = now + 1;  // SA may start next cycle
+    vaRr_[rrSlot] = (win.inPort * totalVcs + win.inVc + 1) %
+                    (kNumPorts * totalVcs);
+    i = j;
+  }
+}
+
+void Router::switchAllocateAndTraverse(Cycle now) {
+  flitsMovedLastCycle_ = flitsMovedThisCycle_;
+  flitsMovedThisCycle_ = 0;
+
+  // SA input arbitration: at most one input VC per input port wins access
+  // to the port's crossbar input.
+  saInWinners_.clear();
+  const int totalVcs = layout_.totalVcs();
+  for (int port = 0; port < kNumPorts; ++port) {
+    std::uint64_t bestPrio = 0;
+    int bestDist = -1;
+    int bestVc = -1;
+    for (int vc = 0; vc < totalVcs; ++vc) {
+      const InputVc& ivc = inVc(port, vc);
+      if (ivc.state != VcState::Active || ivc.ready > now || ivc.buf.empty())
+        continue;
+      const OutputVc& ovc = outVc(ivc.outPort, ivc.outVc);
+      if (ovc.credits <= 0) continue;  // no downstream buffer space
+      const std::uint64_t prio = policy_->priority(
+          ArbStage::SaIn,
+          makeCandidate(ivc.buf.front(), layout_.typeOf(ivc.outVc), now),
+          policyState_.get());
+      const int dist = (vc - saInRr_[static_cast<size_t>(port)] + totalVcs) %
+                       totalVcs;
+      if (bestDist < 0 || prio > bestPrio ||
+          (prio == bestPrio && dist < bestDist)) {
+        bestPrio = prio;
+        bestDist = dist;
+        bestVc = vc;
+      }
+    }
+    if (bestVc >= 0) {
+      const InputVc& ivc = inVc(port, bestVc);
+      saInWinners_.push_back({port, bestVc, ivc.outPort, ivc.outVc});
+    }
+  }
+
+  // SA output arbitration: one winner per output port.
+  for (int outPort = 0; outPort < kNumPorts; ++outPort) {
+    std::uint64_t bestPrio = 0;
+    int bestDist = -1;
+    int best = -1;
+    for (size_t k = 0; k < saInWinners_.size(); ++k) {
+      const auto& w = saInWinners_[k];
+      if (w.outPort != outPort) continue;
+      const InputVc& ivc = inVc(w.inPort, w.inVc);
+      const std::uint64_t prio = policy_->priority(
+          ArbStage::SaOut,
+          makeCandidate(ivc.buf.front(), layout_.typeOf(w.outVc), now),
+          policyState_.get());
+      const int dist =
+          (w.inPort - saOutRr_[static_cast<size_t>(outPort)] + kNumPorts) %
+          kNumPorts;
+      if (bestDist < 0 || prio > bestPrio ||
+          (prio == bestPrio && dist < bestDist)) {
+        bestPrio = prio;
+        bestDist = dist;
+        best = static_cast<int>(k);
+      }
+    }
+    if (best < 0) continue;
+
+    // Switch traversal of the winner.
+    const auto& w = saInWinners_[static_cast<size_t>(best)];
+    InputVc& ivc = inVc(w.inPort, w.inVc);
+    OutputVc& ovc = outVc(w.outPort, w.outVc);
+    Flit f = ivc.buf.front();
+    ivc.buf.pop_front();
+    --ovc.credits;
+    RAIR_DCHECK(ovc.credits >= 0);
+    outLinks_[static_cast<size_t>(w.outPort)]->sendFlit(now, f, w.outVc);
+    if (Link* in = inLinks_[static_cast<size_t>(w.inPort)])
+      in->sendCredit(now, w.inVc);
+    ++flitsMovedThisCycle_;
+    ++counters_.flitsTraversed;
+    (isNative(f) ? counters_.saGrantsNative : counters_.saGrantsForeign)++;
+    saOutRr_[static_cast<size_t>(outPort)] = (w.inPort + 1) % kNumPorts;
+    saInRr_[static_cast<size_t>(w.inPort)] = (w.inVc + 1) % totalVcs;
+
+    if (isTail(f.type)) {
+      ivc.outPort = -1;
+      ivc.outVc = -1;
+      ivc.route = RouteResult{};
+      ovc.allocated = false;
+      ovc.ownerPort = -1;
+      ovc.ownerVc = -1;
+      if (ivc.buf.empty()) {
+        ivc.state = VcState::Idle;
+      } else {
+        // Non-atomic VC: the next queued packet surfaces; route it.
+        RAIR_CHECK_MSG(!atomicVcs_ && isHead(ivc.buf.front().type),
+                       "non-head flit surfaced behind a tail");
+        ivc.state = VcState::Routing;
+        ivc.ready = now + 1;
+      }
+    }
+  }
+}
+
+void Router::endCycle(Cycle /*now*/) { prevOccupancy_ = occupancy(); }
+
+}  // namespace rair

@@ -1,0 +1,216 @@
+// Canonical virtual-channel wormhole router with pluggable arbitration
+// policy (Fig. 5 of the paper: the RAIR router is a canonical router whose
+// VA/SA arbiters consume a policy-provided priority and whose DPA logic is
+// updated once per cycle).
+//
+// Pipeline (one stage per cycle per flit):
+//   BW   buffer write            (modelled by the 1-cycle post-receive delay)
+//   RC   route computation       (head flits)
+//   VA   virtual-channel alloc   (VA_in selection + VA_out arbitration)
+//   SA   switch allocation       (SA_in + SA_out arbitration)
+//   ST   switch traversal        (same cycle as the SA grant)
+//   LT   link traversal          (1-cycle link latency)
+//
+// Flow control is credit-based with *atomic* VC allocation (Table 1): an
+// output VC can be allocated only when it is unowned and its downstream
+// buffer is fully credited, so at most one packet occupies a VC at a time.
+//
+// Policy hooks (paper Sec. IV.B, multi-stage prioritization):
+//   * VA_in  — NO hook: each input VC picks among its own candidates;
+//     flows do not contend here, matching the paper's design.
+//   * VA_out — policy priority per contested output VC, tie -> round-robin.
+//   * SA_in  — policy priority per input port, tie -> round-robin.
+//   * SA_out — policy priority per output port, tie -> round-robin.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "policy/policy.h"
+#include "router/link.h"
+#include "router/vc.h"
+#include "routing/routing.h"
+#include "topology/mesh.h"
+
+namespace rair {
+
+/// Cumulative per-router event counters (cheap; always collected). Useful
+/// for validating arbitration behaviour and for diagnosing DPA decisions.
+struct RouterCounters {
+  std::uint64_t vaGrantsNative = 0;  ///< VA_out winners that were native
+  std::uint64_t vaGrantsForeign = 0;
+  std::uint64_t saGrantsNative = 0;  ///< switch traversals by native flits
+  std::uint64_t saGrantsForeign = 0;
+  std::uint64_t escapeAllocations = 0;  ///< packets that fell to escape VCs
+  std::uint64_t flitsTraversed = 0;
+};
+
+/// Input-VC state machine (canonical VC router).
+enum class VcState : std::uint8_t {
+  Idle,       ///< no packet
+  Routing,    ///< head buffered, RC pending
+  WaitingVa,  ///< routed, requesting an output VC
+  Active,     ///< output VC allocated, flits competing for the switch
+};
+
+struct RouterConfig {
+  VcLayout layout{1, 4, false};
+  int vcDepth = 5;  ///< flit buffer slots per VC (Table 1: 5-flit/VC)
+  /// Atomic VC allocation: reallocate a VC only when its downstream
+  /// buffer has fully drained (one packet per VC at a time). When false,
+  /// packets queue back-to-back inside adaptive VC FIFOs; escape VCs stay
+  /// atomic either way (Duato escape-path safety).
+  bool atomicVcs = true;
+};
+
+class Router {
+ public:
+  /// @param appTag the application mapped onto this router's node; packets
+  ///        with a matching AppId are *native* here, all others *foreign*.
+  Router(NodeId id, AppId appTag, const RouterConfig& config,
+         const Mesh& mesh, const RoutingAlgorithm& routing,
+         const ArbiterPolicy& policy, const CongestionView& congestion);
+
+  // --- Wiring (done once by the Network) ---------------------------------
+  /// Link whose downstream side is this router's port `p` (flits arrive
+  /// here; credits are returned on it).
+  void connectIn(Dir p, Link* link);
+  /// Link whose upstream side is this router's port `p` (flits leave here;
+  /// credits arrive on it).
+  void connectOut(Dir p, Link* link);
+
+  // --- Per-cycle phases, invoked in order by the Network ------------------
+  /// Updates policy state with last cycle's occupancy; drains arriving
+  /// flits and credits from the links.
+  void beginCycle(Cycle now);
+  /// RC stage for freshly buffered head flits.
+  void routeCompute(Cycle now);
+  /// VA stage: input selection and output arbitration.
+  void vcAllocate(Cycle now);
+  /// SA stage (SA_in + SA_out) and switch traversal of the winners.
+  void switchAllocateAndTraverse(Cycle now);
+  /// Snapshots VC occupancy for next cycle's policy update.
+  void endCycle(Cycle now);
+
+  // --- Introspection -------------------------------------------------------
+  NodeId id() const { return id_; }
+  AppId appTag() const { return appTag_; }
+
+  /// Output VCs on port `p` currently available for allocation, counting
+  /// adaptive (non-escape) VCs only; 0 when the port is unconnected. This
+  /// is the congestion metric exported to routing selection functions.
+  int freeAdaptiveOutVcs(Dir p) const;
+
+  /// Occupied input VCs holding native / foreign traffic (all ports) —
+  /// the OVC_n / OVC_f registers of the paper's DPA logic.
+  RouterOccupancy occupancy() const;
+
+  /// Cumulative event counters since construction.
+  const RouterCounters& counters() const { return counters_; }
+
+  /// Flits that traversed the switch in the last completed cycle.
+  int flitsMovedLastCycle() const { return flitsMovedLastCycle_; }
+
+  /// True when no flit is buffered and no VC is mid-packet.
+  bool quiescent() const;
+
+  const PolicyState* policyState() const { return policyState_.get(); }
+
+ private:
+  struct InputVc {
+    VcState state = VcState::Idle;
+    std::deque<Flit> buf;
+    RouteResult route;
+    int outPort = -1;
+    int outVc = -1;
+    Cycle ready = 0;  ///< earliest cycle of the next pipeline action
+  };
+
+  struct OutputVc {
+    int credits = 0;
+    bool allocated = false;
+    int ownerPort = -1;
+    int ownerVc = -1;
+  };
+
+  struct VaRequest {
+    int inPort, inVc;
+    int outPort, outVc;
+  };
+
+  struct SaWinner {
+    int inPort, inVc;
+    int outPort, outVc;
+  };
+
+  InputVc& inVc(int port, int vc) {
+    return inputs_[static_cast<size_t>(port * layout_.totalVcs() + vc)];
+  }
+  const InputVc& inVc(int port, int vc) const {
+    return inputs_[static_cast<size_t>(port * layout_.totalVcs() + vc)];
+  }
+  OutputVc& outVc(int port, int vc) {
+    return outputs_[static_cast<size_t>(port * layout_.totalVcs() + vc)];
+  }
+  const OutputVc& outVc(int port, int vc) const {
+    return outputs_[static_cast<size_t>(port * layout_.totalVcs() + vc)];
+  }
+
+  bool isNative(const Flit& f) const {
+    return appTag_ != kNoApp && f.app == appTag_;
+  }
+
+  /// Whether output VC (port, vc) can be allocated to a packet of
+  /// `flitsNeeded` flits now. Atomic mode (and escape VCs): unowned and
+  /// downstream buffer empty. Non-atomic: unowned and enough credits for
+  /// the WHOLE packet — a committed packet can then always fully vacate
+  /// its current buffer, which keeps Duato's escape argument valid (the
+  /// front packet of any buffer is either uncommitted, so it can take the
+  /// escape path, or committed with guaranteed space downstream).
+  bool outVcAvailable(int port, int vc, int flitsNeeded) const;
+
+  /// VA_in: choose the (outPort, outVc) this input VC requests this cycle,
+  /// or false if nothing suitable is available.
+  bool selectOutputVc(Cycle now, int inPort, int inVcIdx, VaRequest& out);
+
+  /// Picks the best available adaptive output VC on `port` for `f`
+  /// (RAIR class preference: foreign packets try Global VCs first, native
+  /// packets Regional first); returns -1 if none.
+  int pickAdaptiveVc(int port, const Flit& f) const;
+
+  ArbCandidate makeCandidate(const Flit& f, VcClass outClass,
+                             Cycle now) const;
+
+  NodeId id_;
+  AppId appTag_;
+  VcLayout layout_;
+  int vcDepth_;
+  bool atomicVcs_;
+  const Mesh* mesh_;
+  const RoutingAlgorithm* routing_;
+  const ArbiterPolicy* policy_;
+  const CongestionView* congestion_;
+  std::unique_ptr<PolicyState> policyState_;
+
+  std::vector<InputVc> inputs_;    // [port][vc] flattened
+  std::vector<OutputVc> outputs_;  // [port][vc] flattened
+  std::array<Link*, kNumPorts> inLinks_{};
+  std::array<Link*, kNumPorts> outLinks_{};
+
+  // Round-robin grant pointers.
+  std::vector<int> vaRr_;                    // per output VC, over input-VC ids
+  std::array<int, kNumPorts> saInRr_{};      // per input port, over VC ids
+  std::array<int, kNumPorts> saOutRr_{};     // per output port, over ports
+
+  // Scratch buffers reused every cycle.
+  std::vector<VaRequest> vaRequests_;
+  std::vector<SaWinner> saInWinners_;
+
+  RouterOccupancy prevOccupancy_;
+  RouterCounters counters_;
+  int flitsMovedThisCycle_ = 0;
+  int flitsMovedLastCycle_ = 0;
+};
+
+}  // namespace rair

@@ -1,0 +1,28 @@
+#include "router/vc.h"
+
+#include <algorithm>
+
+namespace rair {
+
+VcLayout::VcLayout(int numClasses, int vcsPerClass, bool rairPartition,
+                   int globalPerClass)
+    : numClasses_(numClasses),
+      vcsPerClass_(vcsPerClass),
+      rairPartition_(rairPartition),
+      globalPerClass_(globalPerClass) {
+  RAIR_CHECK_MSG(numClasses >= 1 && numClasses <= kMaxMsgClasses,
+                 "numClasses out of range");
+  RAIR_CHECK_MSG(vcsPerClass >= 2,
+                 "need at least one escape and one adaptive VC per class");
+  if (rairPartition_) {
+    if (globalPerClass_ < 0)
+      globalPerClass_ = std::max(1, adaptivePerClass() / 2);
+    RAIR_CHECK_MSG(globalPerClass_ >= 1 &&
+                       globalPerClass_ <= adaptivePerClass() - 1,
+                   "RAIR needs at least one regional and one global VC");
+  } else {
+    globalPerClass_ = 0;
+  }
+}
+
+}  // namespace rair

@@ -1,0 +1,87 @@
+// Virtual-channel identity, classes, and per-port VC layout.
+//
+// Every physical channel carries `numClasses * vcsPerClass` virtual
+// channels. VCs are grouped by coherence message class (protocol deadlock
+// freedom); within each class block, VC 0 is the *escape* VC of Duato's
+// deadlock-avoidance scheme (restricted to dimension-ordered XY routes) and
+// the remaining VCs are adaptive.
+//
+// RAIR's first mechanism, VC regionalization (paper Sec. IV.A), tags each
+// adaptive VC with a 1-bit class: *regional* or *global*. The tag does NOT
+// restrict which traffic may use the VC — both native and foreign traffic
+// may occupy either kind — it only selects the prioritization rule applied
+// at VA output arbitration: global VCs always favor foreign traffic, while
+// regional VCs follow the DPA decision.
+#pragma once
+
+#include "common/assert.h"
+#include "packet/packet.h"
+
+namespace rair {
+
+/// Classification of a virtual channel.
+enum class VcClass : std::uint8_t {
+  Escape,    ///< Duato escape channel: XY dimension-ordered routes only
+  Adaptive,  ///< plain adaptive VC (non-RAIR schemes)
+  Regional,  ///< RAIR: adaptive VC whose VA_out priority follows DPA
+  Global,    ///< RAIR: adaptive VC whose VA_out priority favors foreign
+};
+
+/// Computes class membership and RAIR tagging for the VC index space of a
+/// physical channel. Immutable; shared by all routers of a network.
+class VcLayout {
+ public:
+  /// @param numClasses    number of protocol message classes (>= 1)
+  /// @param vcsPerClass   VCs per class (>= 2: one escape + >=1 adaptive)
+  /// @param rairPartition when true, adaptive VCs are tagged
+  ///                      Regional/Global; otherwise they are Adaptive
+  /// @param globalPerClass number of adaptive VCs per class tagged Global
+  ///                      (-1 = half of the adaptive VCs, rounded down, at
+  ///                      least 1 — the paper's "roughly the same" split)
+  VcLayout(int numClasses, int vcsPerClass, bool rairPartition,
+           int globalPerClass = -1);
+
+  int numClasses() const { return numClasses_; }
+  int vcsPerClass() const { return vcsPerClass_; }
+  int totalVcs() const { return numClasses_ * vcsPerClass_; }
+  bool rairPartition() const { return rairPartition_; }
+
+  /// Message class served by VC index `vc`.
+  MsgClass msgClassOf(int vc) const {
+    RAIR_DCHECK(vc >= 0 && vc < totalVcs());
+    return static_cast<MsgClass>(vc / vcsPerClass_);
+  }
+
+  /// First VC index of a class block.
+  int firstVcOf(MsgClass c) const {
+    return static_cast<int>(c) * vcsPerClass_;
+  }
+
+  /// Classification of VC index `vc`.
+  VcClass typeOf(int vc) const {
+    RAIR_DCHECK(vc >= 0 && vc < totalVcs());
+    const int within = vc % vcsPerClass_;
+    if (within == 0) return VcClass::Escape;
+    if (!rairPartition_) return VcClass::Adaptive;
+    // Adaptive VCs 1..vcsPerClass-1: the last `globalPerClass_` are Global.
+    return within >= vcsPerClass_ - globalPerClass_ ? VcClass::Global
+                                                    : VcClass::Regional;
+  }
+
+  bool isEscape(int vc) const { return typeOf(vc) == VcClass::Escape; }
+  bool isAdaptive(int vc) const { return !isEscape(vc); }
+
+  int adaptivePerClass() const { return vcsPerClass_ - 1; }
+  int globalPerClass() const { return rairPartition_ ? globalPerClass_ : 0; }
+  int regionalPerClass() const {
+    return rairPartition_ ? adaptivePerClass() - globalPerClass_ : 0;
+  }
+
+ private:
+  int numClasses_;
+  int vcsPerClass_;
+  bool rairPartition_;
+  int globalPerClass_;
+};
+
+}  // namespace rair

@@ -1,0 +1,37 @@
+// Congestion information available to adaptive routing selection
+// functions.
+//
+// The network implements this view. Two granularities are exposed:
+//
+//  * freeVcsThrough(n, d): what router n knows *locally* (from credits)
+//    about the downstream router reached through port d — the information
+//    a classical locally-adaptive router uses [Baydal et al., TPDS'05].
+//
+//  * aggregatedFree(n, d, hops): the sum of free-VC counts over the first
+//    `hops` routers along direction d starting at n, as propagated over a
+//    dedicated information network at one hop per cycle — the style of
+//    non-local information RCA [Gratz et al., HPCA'08] and DBAR [Ma et
+//    al., ISCA'11] use. Values for routers h hops away are h cycles old,
+//    matching the wire delay of a real side-band network.
+#pragma once
+
+#include "common/types.h"
+#include "topology/mesh.h"
+
+namespace rair {
+
+class CongestionView {
+ public:
+  virtual ~CongestionView() = default;
+
+  /// Number of output VCs at router `n`, port `d`, currently available for
+  /// allocation (not allocated and fully credited). Local knowledge.
+  virtual int freeVcsThrough(NodeId n, Dir d) const = 0;
+
+  /// Sum of freeVcsThrough over the chain of `hops` routers starting at
+  /// `n` and walking direction `d` (n itself first). Delayed by wire
+  /// propagation. hops is clamped to the mesh edge.
+  virtual int aggregatedFree(NodeId n, Dir d, int hops) const = 0;
+};
+
+}  // namespace rair

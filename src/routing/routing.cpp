@@ -1,0 +1,83 @@
+#include "routing/routing.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace rair {
+
+RouteResult RoutingAlgorithm::computeCandidates(const Mesh& mesh,
+                                                NodeId here,
+                                                const Flit& head) const {
+  RouteResult r;
+  if (head.dst == here) {
+    r.ejecting = true;
+    r.escapeDir = Dir::Local;
+    return r;
+  }
+  const auto md = mesh.minimalDirs(here, head.dst);
+  RAIR_DCHECK(md.count >= 1);
+  r.numAdaptive = md.count;
+  r.adaptiveDirs = md.dirs;
+  // XY escape: X dimension first. minimalDirs lists the X direction first
+  // when X offset remains, so the escape direction is simply dirs[0].
+  r.escapeDir = md.dirs[0];
+  return r;
+}
+
+void XyRouting::orderBySelection(const Mesh&, const CongestionView&, NodeId,
+                                 const Flit&, RouteResult& route) const {
+  // Deterministic: collapse to the single XY direction.
+  if (route.ejecting || route.numAdaptive == 0) return;
+  route.adaptiveDirs[0] = route.escapeDir;
+  route.numAdaptive = 1;
+}
+
+void LocalAdaptiveRouting::orderBySelection(const Mesh& /*mesh*/,
+                                            const CongestionView& view,
+                                            NodeId here, const Flit& /*head*/,
+                                            RouteResult& route) const {
+  if (route.numAdaptive < 2) return;
+  const int f0 = view.freeVcsThrough(here, route.adaptiveDirs[0]);
+  const int f1 = view.freeVcsThrough(here, route.adaptiveDirs[1]);
+  if (f1 > f0) std::swap(route.adaptiveDirs[0], route.adaptiveDirs[1]);
+}
+
+void DbarRouting::orderBySelection(const Mesh& mesh,
+                                   const CongestionView& view, NodeId here,
+                                   const Flit& head,
+                                   RouteResult& route) const {
+  if (route.numAdaptive < 2) return;
+  const Coord ch = mesh.coordOf(here);
+  const Coord cd = mesh.coordOf(head.dst);
+  auto metric = [&](Dir d) {
+    // Remaining hops along this dimension toward the destination.
+    const int dimRemaining = (d == Dir::East || d == Dir::West)
+                                 ? std::abs(cd.x - ch.x)
+                                 : std::abs(cd.y - ch.y);
+    // Horizon: stop at the current region's boundary (information from
+    // other regions is discarded) or at the destination column/row. Always
+    // look at least one hop ahead.
+    const int horizon =
+        std::max(1, std::min(dimRemaining, regions_->regionExtent(here, d)));
+    return view.aggregatedFree(here, d, horizon);
+  };
+  if (metric(route.adaptiveDirs[1]) > metric(route.adaptiveDirs[0]))
+    std::swap(route.adaptiveDirs[0], route.adaptiveDirs[1]);
+}
+
+std::unique_ptr<RoutingAlgorithm> makeRouting(RoutingKind kind,
+                                              const RegionMap* regions) {
+  switch (kind) {
+    case RoutingKind::Xy:
+      return std::make_unique<XyRouting>();
+    case RoutingKind::LocalAdaptive:
+      return std::make_unique<LocalAdaptiveRouting>();
+    case RoutingKind::Dbar:
+      RAIR_CHECK_MSG(regions != nullptr, "DBAR requires a region map");
+      return std::make_unique<DbarRouting>(*regions);
+  }
+  RAIR_CHECK_MSG(false, "unknown RoutingKind");
+}
+
+}  // namespace rair

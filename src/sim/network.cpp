@@ -1,0 +1,117 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace rair {
+
+namespace {
+constexpr std::array<Dir, 4> kRouterDirs = {Dir::North, Dir::East, Dir::South,
+                                            Dir::West};
+constexpr int dirIdx(Dir d) { return static_cast<int>(d) - 1; }
+}  // namespace
+
+Network::Network(const Mesh& mesh, const RegionMap& regions,
+                 NetworkConfig config, RoutingKind routingKind,
+                 const ArbiterPolicy& policy)
+    : mesh_(&mesh),
+      regions_(&regions),
+      config_(config),
+      layout_(config.numClasses, config.vcsPerClass, config.rairPartition,
+              config.globalVcsPerClass),
+      routing_(makeRouting(routingKind, &regions)),
+      policy_(&policy),
+      maxHops_(std::max(mesh.width(), mesh.height()) - 1) {
+  const RouterConfig rc{layout_, config_.vcDepth, config_.atomicVcs};
+  routers_.reserve(static_cast<size_t>(mesh.numNodes()));
+  nics_.reserve(static_cast<size_t>(mesh.numNodes()));
+  for (NodeId n = 0; n < mesh.numNodes(); ++n) {
+    routers_.push_back(std::make_unique<Router>(
+        n, regions.appOf(n), rc, mesh, *routing_, policy, *this));
+    nics_.push_back(std::make_unique<Nic>(n, regions.appOf(n), layout_,
+                                          config_.vcDepth, config_.atomicVcs));
+  }
+  wire();
+  agg_.assign(static_cast<size_t>(mesh.numNodes()) * 4 *
+                  static_cast<size_t>(maxHops_),
+              0);
+  aggPrev_ = agg_;
+}
+
+void Network::wire() {
+  // Router-to-router links: one per directed edge (east/south owned to
+  // avoid duplicates; the reverse direction gets its own link).
+  for (NodeId n = 0; n < mesh_->numNodes(); ++n) {
+    for (Dir d : kRouterDirs) {
+      const auto nb = mesh_->neighbor(n, d);
+      if (!nb) continue;
+      links_.push_back(std::make_unique<Link>(config_.linkLatency));
+      Link* link = links_.back().get();
+      routers_[static_cast<size_t>(n)]->connectOut(d, link);
+      routers_[static_cast<size_t>(*nb)]->connectIn(opposite(d), link);
+    }
+    // NIC <-> router local-port links.
+    links_.push_back(std::make_unique<Link>(config_.linkLatency));
+    Link* inject = links_.back().get();
+    links_.push_back(std::make_unique<Link>(config_.linkLatency));
+    Link* eject = links_.back().get();
+    routers_[static_cast<size_t>(n)]->connectIn(Dir::Local, inject);
+    routers_[static_cast<size_t>(n)]->connectOut(Dir::Local, eject);
+    nics_[static_cast<size_t>(n)]->connect(inject, eject);
+  }
+}
+
+void Network::step(Cycle now) {
+  for (auto& nic : nics_) nic->tick(now);
+  for (auto& r : routers_) r->beginCycle(now);
+  for (auto& r : routers_) r->routeCompute(now);
+  for (auto& r : routers_) r->vcAllocate(now);
+  for (auto& r : routers_) r->switchAllocateAndTraverse(now);
+  for (auto& r : routers_) r->endCycle(now);
+  propagateCongestion();
+}
+
+void Network::propagateCongestion() {
+  std::swap(agg_, aggPrev_);
+  for (NodeId n = 0; n < mesh_->numNodes(); ++n) {
+    for (Dir d : kRouterDirs) {
+      const int di = dirIdx(d);
+      const int local = routers_[static_cast<size_t>(n)]->freeAdaptiveOutVcs(d);
+      aggAt(agg_, n, di, 0) = local;
+      const auto nb = mesh_->neighbor(n, d);
+      for (int h = 1; h < maxHops_; ++h) {
+        // h-hop info: local knowledge plus the neighbor's (h-1)-hop
+        // aggregate from the previous cycle (1 hop/cycle wire delay).
+        aggAt(agg_, n, di, h) =
+            local + (nb ? aggAt(aggPrev_, *nb, di, h - 1) : 0);
+      }
+    }
+  }
+}
+
+int Network::flitsMovedLastCycle() const {
+  int total = 0;
+  for (const auto& r : routers_) total += r->flitsMovedLastCycle();
+  return total;
+}
+
+bool Network::quiescent() const {
+  for (const auto& r : routers_)
+    if (!r->quiescent()) return false;
+  for (const auto& n : nics_)
+    if (!n->quiescent()) return false;
+  for (const auto& l : links_)
+    if (!l->idle()) return false;
+  return true;
+}
+
+int Network::freeVcsThrough(NodeId n, Dir d) const {
+  return routers_[static_cast<size_t>(n)]->freeAdaptiveOutVcs(d);
+}
+
+int Network::aggregatedFree(NodeId n, Dir d, int hops) const {
+  RAIR_DCHECK(d != Dir::Local);
+  const int h = std::clamp(hops, 1, maxHops_) - 1;
+  return aggAt(agg_, n, dirIdx(d), h);
+}
+
+}  // namespace rair

@@ -1,0 +1,103 @@
+// The assembled on-chip network: routers, NICs, links, and the side-band
+// congestion-information network used by non-local adaptive routing.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "policy/policy.h"
+#include "region/region_map.h"
+#include "router/link.h"
+#include "router/router.h"
+#include "routing/routing.h"
+#include "sim/nic.h"
+#include "topology/mesh.h"
+
+namespace rair {
+
+struct NetworkConfig {
+  int numClasses = 1;
+  /// VCs per message class, including the escape VC. The paper's synthetic
+  /// runs use 5 here (1 escape + 2 regional + 2 global — the "roughly the
+  /// same" split of Sec. VI); Table 1's full-system config uses 4.
+  int vcsPerClass = 5;
+  /// Tag adaptive VCs Regional/Global (RAIR's VC regionalization). Safe to
+  /// enable for non-RAIR policies (they ignore the tag); kept explicit so
+  /// baselines run the exact canonical router.
+  bool rairPartition = false;
+  /// Global VCs per class (-1: half the adaptive VCs). Ablation knob.
+  int globalVcsPerClass = -1;
+  int vcDepth = 5;      ///< Table 1: 5-flit VCs
+  /// Atomic VC allocation (Table 1's configuration, and the default): an
+  /// adaptive VC is (re)allocated only when its downstream buffer is
+  /// empty, so it holds one packet at a time. When false, packets queue
+  /// back-to-back inside adaptive VC FIFOs (allocation then requires
+  /// credits for the whole packet, which keeps the escape-path deadlock
+  /// argument valid); escape VCs are always atomic.
+  bool atomicVcs = true;
+  Cycle linkLatency = 1;
+};
+
+/// Owns every hardware element; advances them one cycle at a time.
+class Network final : public CongestionView {
+ public:
+  Network(const Mesh& mesh, const RegionMap& regions, NetworkConfig config,
+          RoutingKind routingKind, const ArbiterPolicy& policy);
+
+  /// One clock edge: NICs first (inject/eject), then the router pipeline
+  /// phases, then congestion-information propagation.
+  void step(Cycle now);
+
+  Nic& nic(NodeId n) { return *nics_[static_cast<size_t>(n)]; }
+  Router& router(NodeId n) { return *routers_[static_cast<size_t>(n)]; }
+  const Router& router(NodeId n) const {
+    return *routers_[static_cast<size_t>(n)];
+  }
+  const Mesh& mesh() const { return *mesh_; }
+  const VcLayout& layout() const { return layout_; }
+  const RoutingAlgorithm& routing() const { return *routing_; }
+
+  /// Flits that traversed any switch in the last completed cycle.
+  int flitsMovedLastCycle() const;
+
+  /// True when every router, NIC and link holds no traffic.
+  bool quiescent() const;
+
+  // CongestionView:
+  int freeVcsThrough(NodeId n, Dir d) const override;
+  int aggregatedFree(NodeId n, Dir d, int hops) const override;
+
+ private:
+  void wire();
+  void propagateCongestion();
+
+  const Mesh* mesh_;
+  const RegionMap* regions_;
+  NetworkConfig config_;
+  VcLayout layout_;
+  std::unique_ptr<RoutingAlgorithm> routing_;
+  const ArbiterPolicy* policy_;
+
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::vector<std::unique_ptr<Link>> links_;
+
+  // Side-band congestion network. agg_[n][d][h] = sum of free adaptive VC
+  // counts through port d over routers n, n+1d, ... n+hd (h+1 terms), with
+  // the h-hop term h cycles old (one-hop-per-cycle wire propagation).
+  int maxHops_;
+  std::vector<int> agg_;      // [node][4 dirs][maxHops_]
+  std::vector<int> aggPrev_;  // previous cycle's values
+  int aggAt(const std::vector<int>& v, NodeId n, int dirIdx, int h) const {
+    return v[(static_cast<size_t>(n) * 4 + static_cast<size_t>(dirIdx)) *
+                 static_cast<size_t>(maxHops_) +
+             static_cast<size_t>(h)];
+  }
+  int& aggAt(std::vector<int>& v, NodeId n, int dirIdx, int h) {
+    return v[(static_cast<size_t>(n) * 4 + static_cast<size_t>(dirIdx)) *
+                 static_cast<size_t>(maxHops_) +
+             static_cast<size_t>(h)];
+  }
+};
+
+}  // namespace rair

@@ -1,0 +1,133 @@
+#include "sim/nic.h"
+
+#include "common/assert.h"
+
+namespace rair {
+
+Nic::Nic(NodeId node, AppId appTag, const VcLayout& layout, int routerVcDepth,
+         bool atomicVcs)
+    : node_(node),
+      appTag_(appTag),
+      layout_(layout),
+      vcDepth_(routerVcDepth),
+      atomicVcs_(atomicVcs),
+      credits_(static_cast<size_t>(layout.totalVcs()), routerVcDepth),
+      headHops_(static_cast<size_t>(layout.totalVcs()), 0) {}
+
+void Nic::connect(Link* toRouter, Link* fromRouter) {
+  toRouter_ = toRouter;
+  fromRouter_ = fromRouter;
+}
+
+Nic::SubQueue& Nic::subQueue(MsgClass cls, AppId app) {
+  for (auto& q : queues_) {
+    if (q.cls == cls && q.app == app) return q;
+  }
+  queues_.push_back(SubQueue{cls, app, {}});
+  return queues_.back();
+}
+
+void Nic::enqueue(const Packet& p) {
+  RAIR_CHECK(p.src == node_);
+  RAIR_CHECK(static_cast<int>(p.msgClass) < layout_.numClasses());
+  subQueue(p.msgClass, p.app).packets.push_back(p);
+}
+
+std::size_t Nic::queuedPackets() const {
+  std::size_t n = active_.size();
+  for (const auto& q : queues_) n += q.packets.size();
+  return n;
+}
+
+bool Nic::quiescent() const { return queuedPackets() == 0; }
+
+int Nic::claimVc(const Packet& p) const {
+  const int base = layout_.firstVcOf(p.msgClass);
+  const int end = base + layout_.vcsPerClass();
+  auto usable = [&](int vc) {
+    for (const auto& s : active_)
+      if (s.vc == vc) return false;
+    // Escape VCs (and all VCs in atomic mode) need a fully drained
+    // downstream buffer; non-atomic adaptive VCs need room for the whole
+    // packet (deadlock safety, same rule as in-network allocation).
+    if (atomicVcs_ || layout_.isEscape(vc))
+      return credits_[static_cast<size_t>(vc)] == vcDepth_;
+    return credits_[static_cast<size_t>(vc)] >= p.numFlits;
+  };
+  if (!layout_.rairPartition()) {
+    for (int vc = base + 1; vc < end; ++vc)
+      if (usable(vc)) return vc;
+    if (usable(base)) return base;  // escape VC as last resort
+    return -1;
+  }
+  const bool native = appTag_ != kNoApp && p.app == appTag_;
+  const VcClass preferred = native ? VcClass::Regional : VcClass::Global;
+  int fallback = -1;
+  for (int vc = base + 1; vc < end; ++vc) {
+    if (!usable(vc)) continue;
+    if (layout_.typeOf(vc) == preferred) return vc;
+    if (fallback < 0) fallback = vc;
+  }
+  if (fallback >= 0) return fallback;
+  if (usable(base)) return base;
+  return -1;
+}
+
+void Nic::tick(Cycle now) {
+  RAIR_CHECK_MSG(toRouter_ && fromRouter_, "NIC not connected");
+
+  // Credits returned by the router's Local input port.
+  while (auto credit = toRouter_->recvCredit(now)) {
+    auto& c = credits_[static_cast<size_t>(credit->vc)];
+    ++c;
+    RAIR_CHECK_MSG(c <= vcDepth_, "NIC credit overflow");
+  }
+
+  // Ejection: drain arriving flits, return credits immediately.
+  while (auto msg = fromRouter_->recvFlit(now)) {
+    fromRouter_->sendCredit(now, msg->vc);
+    const Flit& f = msg->flit;
+    if (isHead(f.type)) headHops_[static_cast<size_t>(msg->vc)] = f.hops;
+    if (isTail(f.type) && deliver_)
+      deliver_(f.pkt, now, headHops_[static_cast<size_t>(msg->vc)]);
+  }
+
+  // VC claims: round-robin over the per-(class, app) sub-queues so one
+  // application's backlog cannot monopolize the claim opportunities.
+  if (!queues_.empty()) {
+    const std::size_t nq = queues_.size();
+    for (std::size_t off = 0; off < nq; ++off) {
+      SubQueue& q = queues_[(rrQueue_ + off) % nq];
+      if (q.packets.empty()) continue;
+      const int vc = claimVc(q.packets.front());
+      if (vc < 0) continue;
+      Stream s;
+      s.pkt = q.packets.front();
+      s.flits = packetToFlits(s.pkt);
+      s.vc = vc;
+      q.packets.pop_front();
+      active_.push_back(std::move(s));
+    }
+    rrQueue_ = (rrQueue_ + 1) % nq;
+  }
+
+  // Inject at most one flit (link bandwidth), round-robin over streams.
+  if (active_.empty()) return;
+  const std::size_t n = active_.size();
+  for (std::size_t off = 0; off < n; ++off) {
+    const std::size_t idx = (rrNext_ + off) % n;
+    Stream& s = active_[idx];
+    if (credits_[static_cast<size_t>(s.vc)] <= 0) continue;
+    const Flit& f = s.flits[s.next];
+    toRouter_->sendFlit(now, f, s.vc);
+    --credits_[static_cast<size_t>(s.vc)];
+    if (isHead(f.type) && injected_) injected_(s.pkt.id, now);
+    ++s.next;
+    rrNext_ = (idx + 1) % n;
+    if (s.next == s.flits.size())
+      active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(idx));
+    break;
+  }
+}
+
+}  // namespace rair

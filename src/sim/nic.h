@@ -1,0 +1,101 @@
+// Network interface controller: open-loop source queues on the injection
+// side, an infinite sink on the ejection side.
+//
+// Injection performs the upstream half of VC allocation for the router's
+// Local input port: a queued packet claims a free input VC of its message
+// class (atomic: VC idle and fully credited), then streams its flits at
+// one flit per cycle subject to credits, with round-robin interleaving
+// among in-flight packets. Under RAIR the VC claim follows the same class
+// preference as in-network allocation: native packets try Regional VCs
+// first, foreign ones Global first.
+//
+// Source queues are kept per (message class, application): on consolidated
+// chips each VM/application has its own injection queue at the interface,
+// so a misbehaving application's backlog cannot head-of-line block another
+// application's packets before they even reach the network (it can only
+// compete for VCs and link bandwidth, where the router's policies act).
+//
+// Ejection drains at link rate (one flit per cycle), returning a credit
+// per flit immediately — the model of an always-ready receiving core.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "packet/packet.h"
+#include "router/link.h"
+#include "router/vc.h"
+
+namespace rair {
+
+class Nic {
+ public:
+  /// @param appTag app mapped on this node (used for the RAIR VC-class
+  ///        preference when claiming an injection VC).
+  Nic(NodeId node, AppId appTag, const VcLayout& layout, int routerVcDepth,
+      bool atomicVcs);
+
+  /// `toRouter`: NIC is the upstream side. `fromRouter`: downstream side.
+  void connect(Link* toRouter, Link* fromRouter);
+
+  /// Queues a packet for injection (source queues are unbounded: open-loop
+  /// measurement per Dally & Towles).
+  void enqueue(const Packet& p);
+
+  /// Called once per cycle (before the routers) — receives credits,
+  /// ejects arriving flits, injects at most one flit.
+  void tick(Cycle now);
+
+  /// Invoked when a tail flit is delivered here. Receives the packet id,
+  /// delivery cycle and hop count observed by the head flit.
+  using DeliverFn =
+      std::function<void(PacketId, Cycle ejectCycle, std::uint16_t hops)>;
+  void setDeliverFn(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Invoked when a head flit first enters the network (left the NIC).
+  using InjectFn = std::function<void(PacketId, Cycle injectCycle)>;
+  void setInjectFn(InjectFn fn) { injected_ = std::move(fn); }
+
+  NodeId node() const { return node_; }
+  std::size_t queuedPackets() const;
+  bool quiescent() const;
+
+ private:
+  struct Stream {
+    Packet pkt;
+    std::vector<Flit> flits;
+    std::uint16_t next = 0;  ///< next flit index to send
+    int vc = -1;             ///< claimed router-input VC
+  };
+
+  /// Tries to claim an injection VC for the head of `queue`; returns the
+  /// VC index or -1.
+  int claimVc(const Packet& p) const;
+
+  struct SubQueue {
+    MsgClass cls;
+    AppId app;
+    std::deque<Packet> packets;
+  };
+  SubQueue& subQueue(MsgClass cls, AppId app);
+
+  NodeId node_;
+  AppId appTag_;
+  VcLayout layout_;
+  int vcDepth_;
+  bool atomicVcs_;
+  Link* toRouter_ = nullptr;
+  Link* fromRouter_ = nullptr;
+
+  std::vector<SubQueue> queues_;  ///< one per (message class, application)
+  std::vector<Stream> active_;    ///< packets mid-injection
+  std::vector<int> credits_;      ///< per router-local-input VC
+  std::vector<std::uint16_t> headHops_;  ///< hops of in-flight head per VC
+  std::size_t rrNext_ = 0;       ///< round-robin over active_
+  std::size_t rrQueue_ = 0;      ///< round-robin over queues_ for VC claims
+  DeliverFn deliver_;
+  InjectFn injected_;
+};
+
+}  // namespace rair

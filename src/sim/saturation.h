@@ -1,0 +1,45 @@
+// Empirical saturation-load calibration.
+//
+// The paper expresses application loads as fractions of the application's
+// saturation load ("10% of its saturation load", Sec. V.B). Saturation is
+// found the standard way (Dally & Towles): sweep the injection rate and
+// locate the knee where average latency blows past a multiple of the
+// zero-load latency.
+#pragma once
+
+#include <functional>
+
+#include "sim/scenario.h"
+
+namespace rair {
+
+struct SaturationOptions {
+  double kneeFactor = 4.0;   ///< saturated when APL > kneeFactor x zero-load
+  double zeroLoadRate = 0.005;  ///< rate used to estimate zero-load APL
+  double startRate = 0.02;
+  double growth = 1.3;       ///< geometric scan factor
+  double maxRate = 1.0;      ///< flits/cycle/node upper bound (link rate)
+  int bisectIters = 7;
+  /// Short simulation windows: saturation needs the knee location, not
+  /// tight confidence intervals.
+  Cycle warmupCycles = 2'000;
+  Cycle measureCycles = 10'000;
+  Cycle drainLimit = 30'000;
+};
+
+/// Generic knee finder over a monotone latency-vs-rate curve.
+/// `aplAtRate(rate)` must return the mean latency at the given injection
+/// rate, or a huge value / +inf when the network failed to drain.
+double findSaturationRate(const std::function<double(double)>& aplAtRate,
+                          const SaturationOptions& opts = {});
+
+/// Saturation rate of one application's traffic shape running *alone* on
+/// the chip under the round-robin baseline — the reference the paper's
+/// "x% of saturation load" figures are defined against. The app's
+/// injectionRate field is ignored (it is the swept variable).
+double appSaturationRate(const Mesh& mesh, const RegionMap& regions,
+                         AppTrafficSpec app,
+                         const SaturationOptions& opts = {},
+                         RoutingKind routing = RoutingKind::LocalAdaptive);
+
+}  // namespace rair

@@ -1,0 +1,43 @@
+#include "sim/scenario.h"
+
+namespace rair {
+
+ScenarioResult runScenario(const Mesh& mesh, const RegionMap& regions,
+                           SimConfig cfg, const SchemeSpec& scheme,
+                           const std::vector<AppTrafficSpec>& apps,
+                           const ScenarioOptions& opts) {
+  const bool adversarial = opts.adversarialRate > 0.0;
+  const int numApps =
+      static_cast<int>(apps.size()) + (adversarial ? 1 : 0);
+
+  std::vector<double> intensities;
+  intensities.reserve(static_cast<size_t>(numApps));
+  for (const auto& a : apps) intensities.push_back(a.injectionRate);
+  if (adversarial) intensities.push_back(opts.adversarialRate);
+
+  cfg.routing = scheme.routing;
+  cfg.net.rairPartition = scheme.needsRairPartition();
+
+  const auto policy = makePolicy(scheme, intensities);
+  Simulator sim(mesh, regions, cfg, *policy, numApps);
+  std::uint64_t seed = opts.seed;
+  for (const auto& a : apps) {
+    sim.addSource(
+        std::make_unique<RegionalizedSource>(mesh, regions, a, seed));
+    seed += 0x9E3779B9ull;
+  }
+  if (adversarial) {
+    sim.addSource(std::make_unique<AdversarialSource>(
+        mesh, static_cast<AppId>(apps.size()), opts.adversarialRate, seed));
+  }
+
+  ScenarioResult out;
+  out.run = sim.run();
+  out.meanApl = out.run.stats.overallApl();
+  out.appApl.resize(static_cast<size_t>(numApps));
+  for (AppId a = 0; a < numApps; ++a)
+    out.appApl[static_cast<size_t>(a)] = out.run.stats.appApl(a);
+  return out;
+}
+
+}  // namespace rair

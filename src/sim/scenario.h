@@ -1,0 +1,45 @@
+// Scenario runner: assembles a simulator from a scheme spec and a set of
+// per-application traffic specs, runs it, and returns per-application APL
+// — the shape every figure in the paper reports.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "region/region_map.h"
+#include "sim/scheme.h"
+#include "sim/simulator.h"
+#include "traffic/generator.h"
+
+namespace rair {
+
+struct ScenarioResult {
+  std::vector<double> appApl;  ///< per application (index = AppId)
+  double meanApl = 0.0;        ///< over all measured packets
+  RunResult run;
+
+  /// Relative APL reduction of app `a` against a baseline result
+  /// (positive = this scheme is faster). The paper's headline metric.
+  double reductionVs(const ScenarioResult& baseline, AppId a) const {
+    return 1.0 - appApl[static_cast<size_t>(a)] /
+                     baseline.appApl[static_cast<size_t>(a)];
+  }
+  double meanReductionVs(const ScenarioResult& baseline) const {
+    return 1.0 - meanApl / baseline.meanApl;
+  }
+};
+
+struct ScenarioOptions {
+  /// Chip-wide adversarial flood rate in flits/cycle/node (Fig. 17 uses
+  /// 0.4); the flooder gets AppId = apps.size().
+  double adversarialRate = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Runs one scheme on one workload.
+ScenarioResult runScenario(const Mesh& mesh, const RegionMap& regions,
+                           SimConfig cfg, const SchemeSpec& scheme,
+                           const std::vector<AppTrafficSpec>& apps,
+                           const ScenarioOptions& opts = {});
+
+}  // namespace rair

@@ -1,0 +1,126 @@
+#include "sim/simulator.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace rair {
+
+Simulator::Simulator(const Mesh& mesh, const RegionMap& regions,
+                     SimConfig config, const ArbiterPolicy& policy,
+                     int numApps)
+    : mesh_(&mesh),
+      config_(config),
+      net_(std::make_unique<Network>(mesh, regions, config.net,
+                                     config.routing, policy)),
+      stats_(numApps) {
+  for (NodeId n = 0; n < mesh.numNodes(); ++n) {
+    net_->nic(n).setDeliverFn(
+        [this](PacketId id, Cycle when, std::uint16_t hops) {
+          onDelivered(id, when, hops);
+        });
+    net_->nic(n).setInjectFn([this](PacketId id, Cycle when) {
+      auto it = ledger_.find(id);
+      RAIR_DCHECK(it != ledger_.end());
+      it->second.injectCycle = when;
+    });
+  }
+}
+
+void Simulator::addSource(std::unique_ptr<TrafficSource> src) {
+  sources_.push_back(std::move(src));
+}
+
+PacketId Simulator::createPacket(NodeId src, NodeId dst, AppId app,
+                                 MsgClass cls, std::uint16_t numFlits) {
+  RAIR_CHECK(mesh_->contains(src) && mesh_->contains(dst));
+  RAIR_CHECK_MSG(src != dst, "self-addressed packet");
+  Packet p;
+  p.id = nextId_++;
+  p.src = src;
+  p.dst = dst;
+  p.app = app;
+  p.msgClass = cls;
+  p.numFlits = numFlits;
+  p.createCycle = now_;
+  stats_.onPacketCreated(p);
+  ++created_;
+  net_->nic(src).enqueue(p);
+  ledger_.emplace(p.id, p);
+  return p.id;
+}
+
+void Simulator::injectAt(Cycle when, NodeId src, NodeId dst, AppId app,
+                         MsgClass cls, std::uint16_t numFlits) {
+  RAIR_CHECK(when >= now_);
+  deferred_.push(Deferred{when, src, dst, app, cls, numFlits});
+}
+
+void Simulator::onDelivered(PacketId id, Cycle when, std::uint16_t hops) {
+  auto it = ledger_.find(id);
+  RAIR_CHECK_MSG(it != ledger_.end(), "delivery of unknown packet");
+  Packet& p = it->second;
+  p.ejectCycle = when;
+  p.hops = hops;
+  stats_.onPacketDelivered(p);
+  ++delivered_;
+  if (stats_.inMeasurementWindow(p.createCycle))
+    measuredFlitsDelivered_ += p.numFlits;
+  if (deliveryHook_) deliveryHook_(p, *this);
+  if (deliveryObserver_) deliveryObserver_(p);
+  ledger_.erase(it);
+}
+
+RunResult Simulator::run() {
+  const Cycle measureEnd = config_.warmupCycles + config_.measureCycles;
+  const Cycle hardStop = measureEnd + config_.drainLimit;
+  stats_.startMeasurement(config_.warmupCycles);
+  stats_.stopMeasurement(measureEnd);
+
+  Cycle lastProgress = 0;
+  std::uint64_t lastDelivered = 0;
+  bool drained = false;
+
+  for (now_ = 0; now_ < hardStop; ++now_) {
+    while (!deferred_.empty() && deferred_.top().when <= now_) {
+      const Deferred d = deferred_.top();
+      deferred_.pop();
+      createPacket(d.src, d.dst, d.app, d.cls, d.numFlits);
+    }
+    for (auto& src : sources_) src->tick(*this);
+    net_->step(now_);
+
+    if (net_->flitsMovedLastCycle() > 0 || delivered_ != lastDelivered ||
+        ledger_.empty()) {
+      lastProgress = now_;
+      lastDelivered = delivered_;
+    } else if (now_ - lastProgress > config_.progressTimeout) {
+      std::fprintf(stderr,
+                   "simulator: no forward progress for %" PRIu64
+                   " cycles at cycle %" PRIu64 " with %zu packets in flight\n",
+                   static_cast<std::uint64_t>(config_.progressTimeout),
+                   static_cast<std::uint64_t>(now_), ledger_.size());
+      RAIR_CHECK_MSG(false, "network deadlock or livelock detected");
+    }
+
+    if (now_ + 1 >= measureEnd && stats_.measuredInFlight() == 0) {
+      drained = true;
+      ++now_;
+      break;
+    }
+  }
+
+  RunResult r;
+  r.stats = std::move(stats_);
+  r.cyclesRun = now_;
+  r.fullyDrained = drained;
+  r.packetsCreated = created_;
+  r.packetsDelivered = delivered_;
+  r.deliveredFlitRate =
+      static_cast<double>(measuredFlitsDelivered_) /
+      (static_cast<double>(config_.measureCycles) * mesh_->numNodes());
+  return r;
+}
+
+}  // namespace rair

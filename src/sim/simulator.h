@@ -1,0 +1,114 @@
+// The simulation driver: owns the network, the packet ledger and the
+// statistics, and runs the paper's measurement protocol (Sec. V.A): warm
+// up, measure packets created during the measurement window, then keep the
+// network running ("drain") until every measured packet is delivered.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "policy/policy.h"
+#include "region/region_map.h"
+#include "sim/network.h"
+#include "stats/stats.h"
+#include "traffic/source.h"
+
+namespace rair {
+
+struct SimConfig {
+  NetworkConfig net;
+  RoutingKind routing = RoutingKind::LocalAdaptive;
+  Cycle warmupCycles = 10'000;    ///< paper: 10K warmup
+  Cycle measureCycles = 100'000;  ///< paper: 100K measured
+  Cycle drainLimit = 400'000;     ///< hard stop for the drain phase
+  /// Abort if no flit moves and nothing is delivered for this many cycles
+  /// while packets are in flight (deadlock/livelock tripwire).
+  Cycle progressTimeout = 50'000;
+};
+
+struct RunResult {
+  StatsCollector stats{1};
+  Cycle cyclesRun = 0;
+  bool fullyDrained = false;
+  std::uint64_t packetsCreated = 0;
+  std::uint64_t packetsDelivered = 0;
+
+  /// Offered vs. accepted flit throughput over the measurement window
+  /// (flits per cycle per node).
+  double deliveredFlitRate = 0.0;
+};
+
+class Simulator final : public InjectionSink {
+ public:
+  /// @param numApps size of the per-app stats table; must cover every
+  ///        AppId the sources use (which may exceed regions.numApps(),
+  ///        e.g. the adversarial flooder of Fig. 17).
+  Simulator(const Mesh& mesh, const RegionMap& regions, SimConfig config,
+            const ArbiterPolicy& policy, int numApps);
+
+  /// Adds a generator ticked every cycle until the measurement window ends
+  /// (sources keep running during drain so measured stragglers experience
+  /// realistic contention).
+  void addSource(std::unique_ptr<TrafficSource> src);
+
+  /// Optional hook fired on every delivery — used by the trace substrate
+  /// to synthesize replies to requests.
+  using DeliveryHook = std::function<void(const Packet&, InjectionSink&)>;
+  void setDeliveryHook(DeliveryHook hook) { deliveryHook_ = std::move(hook); }
+
+  /// Passive observer fired on every delivery, after the hook. Useful for
+  /// tests and custom measurements (e.g. request round-trip times).
+  using DeliveryObserver = std::function<void(const Packet&)>;
+  void setDeliveryObserver(DeliveryObserver obs) {
+    deliveryObserver_ = std::move(obs);
+  }
+
+  /// Schedules a packet to be created at a future cycle (e.g. a reply
+  /// after a cache-service latency).
+  void injectAt(Cycle when, NodeId src, NodeId dst, AppId app, MsgClass cls,
+                std::uint16_t numFlits);
+
+  /// Runs warmup + measurement + drain; returns the collected results.
+  RunResult run();
+
+  // InjectionSink:
+  PacketId createPacket(NodeId src, NodeId dst, AppId app, MsgClass cls,
+                        std::uint16_t numFlits) override;
+  Cycle now() const override { return now_; }
+
+  Network& network() { return *net_; }
+
+ private:
+  void onDelivered(PacketId id, Cycle when, std::uint16_t hops);
+
+  const Mesh* mesh_;
+  SimConfig config_;
+  std::unique_ptr<Network> net_;
+  std::vector<std::unique_ptr<TrafficSource>> sources_;
+  StatsCollector stats_;
+  DeliveryHook deliveryHook_;
+  DeliveryObserver deliveryObserver_;
+
+  std::unordered_map<PacketId, Packet> ledger_;
+  struct Deferred {
+    Cycle when;
+    NodeId src, dst;
+    AppId app;
+    MsgClass cls;
+    std::uint16_t numFlits;
+    bool operator>(const Deferred& o) const { return when > o.when; }
+  };
+  std::priority_queue<Deferred, std::vector<Deferred>, std::greater<>>
+      deferred_;
+
+  Cycle now_ = 0;
+  PacketId nextId_ = 1;
+  std::uint64_t created_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t measuredFlitsDelivered_ = 0;
+};
+
+}  // namespace rair

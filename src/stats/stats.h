@@ -1,0 +1,113 @@
+// Measurement collection: per-packet latency accounting, per-application
+// aggregation, and network-level counters.
+//
+// The paper reports Average Packet Latency (APL): creation-to-delivery
+// latency including source queuing, averaged over packets injected during
+// the measurement window (after warmup). StatsCollector implements exactly
+// that protocol: packets created before measurement starts are ignored;
+// packets created during the window are counted when delivered (the
+// simulator drains after the window so measured packets complete).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+#include "packet/packet.h"
+
+namespace rair {
+
+/// Running scalar statistics plus a coarse power-of-two histogram.
+class LatencyStats {
+ public:
+  void record(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than 2 samples).
+  double variance() const;
+
+  /// Histogram bucket k counts samples in [2^k, 2^(k+1)); bucket 0 also
+  /// holds values < 1.
+  std::span<const std::uint64_t> histogram() const { return buckets_; }
+
+  /// Approximate p-quantile (q in [0,1]) from the histogram; used for tail
+  /// latency reporting. Returns 0 when empty.
+  double approxQuantile(double q) const;
+
+  void merge(const LatencyStats& other);
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double sumSq_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  std::vector<std::uint64_t> buckets_ = std::vector<std::uint64_t>(24, 0);
+};
+
+/// Aggregated results for one application.
+struct AppStats {
+  LatencyStats totalLatency;    ///< creation -> delivery (the paper's APL)
+  LatencyStats networkLatency;  ///< injection -> delivery
+  LatencyStats hops;
+  std::uint64_t packetsCreated = 0;
+  std::uint64_t packetsDelivered = 0;
+  std::uint64_t flitsDelivered = 0;
+};
+
+/// Collects statistics for a simulation run.
+class StatsCollector {
+ public:
+  explicit StatsCollector(int numApps);
+
+  /// Starts the measurement window; packets created from `cycle` onward
+  /// (strictly: createCycle >= cycle) are measured.
+  void startMeasurement(Cycle cycle) { measureStart_ = cycle; }
+  /// Ends packet admission into the measured set (packets created at or
+  /// after `cycle` are ignored, e.g. created during drain).
+  void stopMeasurement(Cycle cycle) { measureEnd_ = cycle; }
+
+  bool inMeasurementWindow(Cycle createCycle) const {
+    return createCycle >= measureStart_ && createCycle < measureEnd_;
+  }
+
+  void onPacketCreated(const Packet& p);
+  void onPacketDelivered(const Packet& p);
+
+  /// Number of measured packets still in flight (created in window, not
+  /// yet delivered). Drain completes when this reaches zero.
+  std::uint64_t measuredInFlight() const {
+    return measuredCreated_ - measuredDelivered_;
+  }
+
+  const AppStats& app(AppId a) const {
+    RAIR_CHECK(a >= 0 && static_cast<size_t>(a) < perApp_.size());
+    return perApp_[static_cast<size_t>(a)];
+  }
+  int numApps() const { return static_cast<int>(perApp_.size()); }
+
+  /// Aggregate over all applications.
+  AppStats overall() const;
+
+  /// Mean APL over all measured packets (all apps pooled).
+  double overallApl() const;
+
+  /// APL of one application.
+  double appApl(AppId a) const { return app(a).totalLatency.mean(); }
+
+ private:
+  std::vector<AppStats> perApp_;
+  Cycle measureStart_ = 0;
+  Cycle measureEnd_ = kNeverCycle;
+  std::uint64_t measuredCreated_ = 0;
+  std::uint64_t measuredDelivered_ = 0;
+};
+
+}  // namespace rair

@@ -1,0 +1,62 @@
+// Interval time series: per-window averages of latency and throughput,
+// for convergence/stability analysis of simulation runs.
+//
+// The paper's methodology (warm up, then measure a fixed window) assumes
+// the network has reached steady state; this collector makes that
+// verifiable: record every delivery into fixed-width intervals and check
+// that per-interval APL is stationary (no upward drift = stable, offered
+// load below saturation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "packet/packet.h"
+
+namespace rair {
+
+/// One aggregated interval.
+struct IntervalStats {
+  Cycle start = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t flits = 0;
+  double latencySum = 0.0;
+
+  double meanLatency() const {
+    return packets ? latencySum / static_cast<double>(packets) : 0.0;
+  }
+};
+
+class TimeSeries {
+ public:
+  /// @param intervalCycles width of each aggregation window.
+  explicit TimeSeries(Cycle intervalCycles);
+
+  /// Records a delivered packet into the interval of its delivery cycle.
+  void recordDelivery(const Packet& p);
+
+  const std::vector<IntervalStats>& intervals() const { return intervals_; }
+  Cycle intervalCycles() const { return interval_; }
+
+  /// Mean per-interval latency over the last `n` complete intervals.
+  double tailMeanLatency(std::size_t n) const;
+
+  /// Linear-regression slope of per-interval mean latency (cycles of APL
+  /// per interval), over intervals [from, to). A clearly positive slope
+  /// indicates an unstable (super-saturated) run. Returns 0 with fewer
+  /// than two populated intervals.
+  double latencyTrend(std::size_t from, std::size_t to) const;
+
+  /// Convenience stability check: the total drift implied by the trend
+  /// across the whole series (|trend| x number of intervals) stays below
+  /// `tolerance` x the overall mean latency. A super-saturated run drifts
+  /// by multiples of its mean and fails this decisively.
+  bool stationary(double tolerance = 0.1) const;
+
+ private:
+  Cycle interval_;
+  std::vector<IntervalStats> intervals_;
+};
+
+}  // namespace rair

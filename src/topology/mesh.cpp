@@ -1,0 +1,70 @@
+#include "topology/mesh.h"
+
+#include <cstdlib>
+
+namespace rair {
+
+std::string_view dirName(Dir d) {
+  switch (d) {
+    case Dir::Local: return "L";
+    case Dir::North: return "N";
+    case Dir::East: return "E";
+    case Dir::South: return "S";
+    case Dir::West: return "W";
+  }
+  return "?";
+}
+
+Dir opposite(Dir d) {
+  switch (d) {
+    case Dir::North: return Dir::South;
+    case Dir::South: return Dir::North;
+    case Dir::East: return Dir::West;
+    case Dir::West: return Dir::East;
+    case Dir::Local: break;
+  }
+  RAIR_CHECK_MSG(false, "Dir::Local has no opposite");
+}
+
+Mesh::Mesh(int width, int height) : width_(width), height_(height) {
+  RAIR_CHECK_MSG(width >= 2 && height >= 1, "mesh must be at least 2x1");
+}
+
+std::optional<NodeId> Mesh::neighbor(NodeId n, Dir d) const {
+  RAIR_DCHECK(contains(n));
+  Coord c = coordOf(n);
+  switch (d) {
+    case Dir::North: c.y -= 1; break;
+    case Dir::South: c.y += 1; break;
+    case Dir::East: c.x += 1; break;
+    case Dir::West: c.x -= 1; break;
+    case Dir::Local: return std::nullopt;
+  }
+  if (c.x < 0 || c.x >= width_ || c.y < 0 || c.y >= height_)
+    return std::nullopt;
+  return nodeAt(c);
+}
+
+int Mesh::hopDistance(NodeId a, NodeId b) const {
+  const Coord ca = coordOf(a);
+  const Coord cb = coordOf(b);
+  return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+}
+
+Mesh::MinimalDirs Mesh::minimalDirs(NodeId src, NodeId dst) const {
+  const Coord cs = coordOf(src);
+  const Coord cd = coordOf(dst);
+  MinimalDirs out;
+  if (cd.x > cs.x) out.dirs[out.count++] = Dir::East;
+  else if (cd.x < cs.x) out.dirs[out.count++] = Dir::West;
+  if (cd.y > cs.y) out.dirs[out.count++] = Dir::South;
+  else if (cd.y < cs.y) out.dirs[out.count++] = Dir::North;
+  return out;
+}
+
+std::array<NodeId, 4> Mesh::cornerNodes() const {
+  return {nodeAt({0, 0}), nodeAt({width_ - 1, 0}), nodeAt({0, height_ - 1}),
+          nodeAt({width_ - 1, height_ - 1})};
+}
+
+}  // namespace rair

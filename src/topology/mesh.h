@@ -1,0 +1,80 @@
+// 2-D mesh topology: coordinates, ports, neighbor relations.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace rair {
+
+/// Router ports of a 2-D mesh node. Local is the NIC injection/ejection
+/// port; the other four connect to neighboring routers.
+enum class Dir : std::uint8_t { Local = 0, North, East, South, West };
+
+inline constexpr int kNumPorts = 5;
+
+/// Readable name, e.g. for stats dumps ("L", "N", "E", "S", "W").
+std::string_view dirName(Dir d);
+
+/// The port on the neighbouring router that a link leaving through `d`
+/// arrives at (North <-> South, East <-> West). Local has no opposite.
+Dir opposite(Dir d);
+
+/// Integer grid coordinate of a node.
+struct Coord {
+  int x = 0;  ///< column, 0 .. width-1, grows eastward
+  int y = 0;  ///< row, 0 .. height-1, grows southward
+
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// A k_x × k_y 2-D mesh. Nodes are numbered row-major:
+/// id = y * width + x. All link lengths are one cycle.
+class Mesh {
+ public:
+  Mesh(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int numNodes() const { return width_ * height_; }
+
+  Coord coordOf(NodeId n) const {
+    RAIR_DCHECK(contains(n));
+    return {static_cast<int>(n) % width_, static_cast<int>(n) / width_};
+  }
+
+  NodeId nodeAt(Coord c) const {
+    RAIR_DCHECK(c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_);
+    return static_cast<NodeId>(c.y * width_ + c.x);
+  }
+
+  bool contains(NodeId n) const { return n >= 0 && n < numNodes(); }
+
+  /// Neighbor of `n` through port `d`, or nullopt at a mesh edge (and for
+  /// Dir::Local, which has no router neighbor).
+  std::optional<NodeId> neighbor(NodeId n, Dir d) const;
+
+  /// Manhattan distance in hops between two nodes.
+  int hopDistance(NodeId a, NodeId b) const;
+
+  /// Productive directions toward `dst` from `src` (0, 1 or 2 entries;
+  /// empty when src == dst). Order: X-dimension direction first.
+  struct MinimalDirs {
+    std::array<Dir, 2> dirs{};
+    int count = 0;
+  };
+  MinimalDirs minimalDirs(NodeId src, NodeId dst) const;
+
+  /// The four corner nodes, used as memory-controller locations in the
+  /// paper's synthetic RNoC scenarios (Sec. V.E).
+  std::array<NodeId, 4> cornerNodes() const;
+
+ private:
+  int width_;
+  int height_;
+};
+
+}  // namespace rair

@@ -1,0 +1,111 @@
+#include "trace/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace rair {
+
+TraceWriter::TraceWriter(std::ostream& os) : os_(&os) {
+  *os_ << "# rair trace v1: cycle src dst app msgClass numFlits\n";
+}
+
+void TraceWriter::write(const TraceRecord& r) {
+  *os_ << r.cycle << ' ' << r.src << ' ' << r.dst << ' ' << r.app << ' '
+       << static_cast<int>(r.msgClass) << ' ' << r.numFlits << '\n';
+  ++count_;
+}
+
+std::vector<TraceRecord> readTrace(std::istream& is) {
+  std::vector<TraceRecord> out;
+  std::string line;
+  std::size_t lineNo = 0;
+  Cycle prevCycle = 0;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    TraceRecord r;
+    long long src, dst, app;
+    int cls;
+    unsigned flits;
+    if (!(ls >> r.cycle >> src >> dst >> app >> cls >> flits)) {
+      RAIR_CHECK_MSG(false, "malformed trace line");
+    }
+    r.src = static_cast<NodeId>(src);
+    r.dst = static_cast<NodeId>(dst);
+    r.app = static_cast<AppId>(app);
+    RAIR_CHECK_MSG(cls >= 0 && cls < kMaxMsgClasses,
+                   "trace message class out of range");
+    r.msgClass = static_cast<MsgClass>(cls);
+    RAIR_CHECK_MSG(flits >= 1 && flits <= 0xFFFF,
+                   "trace flit count out of range");
+    r.numFlits = static_cast<std::uint16_t>(flits);
+    RAIR_CHECK_MSG(r.cycle >= prevCycle, "trace records not sorted by cycle");
+    prevCycle = r.cycle;
+    out.push_back(r);
+  }
+  return out;
+}
+
+void writeTraceFile(const std::string& path,
+                    const std::vector<TraceRecord>& records) {
+  std::ofstream os(path);
+  RAIR_CHECK_MSG(os.good(), "cannot open trace file for writing");
+  TraceWriter w(os);
+  for (const auto& r : records) w.write(r);
+}
+
+std::vector<TraceRecord> readTraceFile(const std::string& path) {
+  std::ifstream is(path);
+  RAIR_CHECK_MSG(is.good(), "cannot open trace file for reading");
+  return readTrace(is);
+}
+
+TraceReplaySource::TraceReplaySource(std::vector<TraceRecord> records)
+    : records_(std::move(records)) {
+  for (std::size_t i = 1; i < records_.size(); ++i)
+    RAIR_CHECK_MSG(records_[i - 1].cycle <= records_[i].cycle,
+                   "replay records must be sorted by cycle");
+}
+
+void TraceReplaySource::tick(InjectionSink& sink) {
+  while (next_ < records_.size() && records_[next_].cycle <= sink.now()) {
+    const auto& r = records_[next_];
+    sink.createPacket(r.src, r.dst, r.app, r.msgClass, r.numFlits);
+    ++next_;
+  }
+}
+
+TraceCapture::TraceCapture(std::unique_ptr<TrafficSource> inner)
+    : inner_(std::move(inner)) {}
+
+namespace {
+
+/// Forwards to the real sink while recording each created packet.
+class RecordingSink final : public InjectionSink {
+ public:
+  RecordingSink(InjectionSink& real, std::vector<TraceRecord>& out)
+      : real_(&real), out_(&out) {}
+
+  PacketId createPacket(NodeId src, NodeId dst, AppId app, MsgClass cls,
+                        std::uint16_t numFlits) override {
+    out_->push_back({real_->now(), src, dst, app, cls, numFlits});
+    return real_->createPacket(src, dst, app, cls, numFlits);
+  }
+  Cycle now() const override { return real_->now(); }
+
+ private:
+  InjectionSink* real_;
+  std::vector<TraceRecord>* out_;
+};
+
+}  // namespace
+
+void TraceCapture::tick(InjectionSink& sink) {
+  RecordingSink recording(sink, records_);
+  inner_->tick(recording);
+}
+
+}  // namespace rair

@@ -1,0 +1,112 @@
+#include "traffic/pattern.h"
+
+#include "common/assert.h"
+
+namespace rair {
+
+const char* patternName(PatternKind k) {
+  switch (k) {
+    case PatternKind::UniformRandom: return "UR";
+    case PatternKind::Transpose: return "TP";
+    case PatternKind::BitComplement: return "BC";
+    case PatternKind::Hotspot: return "HS";
+  }
+  return "?";
+}
+
+namespace {
+
+class UniformRandomPattern final : public TrafficPattern {
+ public:
+  explicit UniformRandomPattern(int numNodes) : numNodes_(numNodes) {}
+  NodeId pick(NodeId src, Xoshiro256StarStar& rng) const override {
+    // Uniform over the other N-1 nodes.
+    auto d = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(numNodes_ - 1)));
+    if (d >= src) ++d;
+    return d;
+  }
+
+ private:
+  int numNodes_;
+};
+
+class TransposePattern final : public TrafficPattern {
+ public:
+  explicit TransposePattern(const Mesh& mesh) : mesh_(&mesh) {}
+  NodeId pick(NodeId src, Xoshiro256StarStar&) const override {
+    const Coord c = mesh_->coordOf(src);
+    // Transpose swaps coordinates; clamp for non-square meshes.
+    const int x = std::min(c.y, mesh_->width() - 1);
+    const int y = std::min(c.x, mesh_->height() - 1);
+    return mesh_->nodeAt({x, y});
+  }
+
+ private:
+  const Mesh* mesh_;
+};
+
+class BitComplementPattern final : public TrafficPattern {
+ public:
+  explicit BitComplementPattern(int numNodes) : numNodes_(numNodes) {}
+  NodeId pick(NodeId src, Xoshiro256StarStar&) const override {
+    return static_cast<NodeId>(numNodes_ - 1 - src);
+  }
+
+ private:
+  int numNodes_;
+};
+
+class HotspotPattern final : public TrafficPattern {
+ public:
+  explicit HotspotPattern(std::vector<NodeId> hotspots)
+      : hotspots_(std::move(hotspots)) {
+    RAIR_CHECK(!hotspots_.empty());
+  }
+  NodeId pick(NodeId /*src*/, Xoshiro256StarStar& rng) const override {
+    return hotspots_[rng.below(hotspots_.size())];
+  }
+
+ private:
+  std::vector<NodeId> hotspots_;
+};
+
+}  // namespace
+
+std::unique_ptr<TrafficPattern> makePattern(PatternKind kind,
+                                            const Mesh& mesh,
+                                            std::vector<NodeId> hotspots) {
+  switch (kind) {
+    case PatternKind::UniformRandom:
+      return std::make_unique<UniformRandomPattern>(mesh.numNodes());
+    case PatternKind::Transpose:
+      return std::make_unique<TransposePattern>(mesh);
+    case PatternKind::BitComplement:
+      return std::make_unique<BitComplementPattern>(mesh.numNodes());
+    case PatternKind::Hotspot: {
+      if (hotspots.empty()) {
+        const int cx = mesh.width() / 2;
+        const int cy = mesh.height() / 2;
+        hotspots = {mesh.nodeAt({cx - 1, cy - 1}), mesh.nodeAt({cx, cy - 1}),
+                    mesh.nodeAt({cx - 1, cy}), mesh.nodeAt({cx, cy})};
+      }
+      return std::make_unique<HotspotPattern>(std::move(hotspots));
+    }
+  }
+  RAIR_CHECK_MSG(false, "unknown PatternKind");
+}
+
+SetUniformPattern::SetUniformPattern(std::vector<NodeId> nodes)
+    : nodes_(std::move(nodes)) {
+  RAIR_CHECK(nodes_.size() >= 2);
+}
+
+NodeId SetUniformPattern::pick(NodeId src, Xoshiro256StarStar& rng) const {
+  // Rejection over the set (the set is small; the source is at most one
+  // member, so the expected number of draws is < 2).
+  for (;;) {
+    const NodeId d = nodes_[rng.below(nodes_.size())];
+    if (d != src) return d;
+  }
+}
+
+}  // namespace rair

@@ -1,0 +1,50 @@
+// Synthetic destination patterns (Dally & Towles ch. 3; paper Sec. V.A
+// simulates uniform random, transpose, bit complement and hotspot).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "topology/mesh.h"
+
+namespace rair {
+
+enum class PatternKind : std::uint8_t {
+  UniformRandom,  ///< any node but the source, uniformly (UR)
+  Transpose,      ///< (x, y) -> (y, x) (TP)
+  BitComplement,  ///< node id -> N-1-id (BC)
+  Hotspot,        ///< uniformly among a small hot-node set (HS)
+};
+
+const char* patternName(PatternKind k);
+
+/// Maps a source node to a destination. Deterministic patterns ignore the
+/// RNG. A pattern may return the source itself (e.g. transpose on the
+/// diagonal); callers skip such packets.
+class TrafficPattern {
+ public:
+  virtual ~TrafficPattern() = default;
+  virtual NodeId pick(NodeId src, Xoshiro256StarStar& rng) const = 0;
+};
+
+/// @param hotspots used by Hotspot only; empty -> default of the four
+///        nodes around the mesh center.
+std::unique_ptr<TrafficPattern> makePattern(PatternKind kind,
+                                            const Mesh& mesh,
+                                            std::vector<NodeId> hotspots = {});
+
+/// Uniform random over an explicit node set, excluding the source — used
+/// for intra-region traffic (uniform within the application's region).
+class SetUniformPattern final : public TrafficPattern {
+ public:
+  explicit SetUniformPattern(std::vector<NodeId> nodes);
+  NodeId pick(NodeId src, Xoshiro256StarStar& rng) const override;
+
+ private:
+  std::vector<NodeId> nodes_;
+};
+
+}  // namespace rair

@@ -1,0 +1,47 @@
+// Shared helpers for simulator-level tests.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "traffic/source.h"
+
+namespace rair::testutil {
+
+/// Injects a fixed list of (cycle, packet) events.
+class ScriptedSource final : public TrafficSource {
+ public:
+  struct Event {
+    Cycle when;
+    NodeId src, dst;
+    AppId app = 0;
+    std::uint16_t flits = 1;
+    MsgClass cls = MsgClass::Request;
+  };
+
+  explicit ScriptedSource(std::vector<Event> events)
+      : events_(std::move(events)) {}
+
+  void tick(InjectionSink& sink) override {
+    for (const auto& e : events_) {
+      if (e.when == sink.now())
+        sink.createPacket(e.src, e.dst, e.app, e.cls, e.flits);
+    }
+  }
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// A SimConfig with short windows suitable for unit tests.
+inline SimConfig fastConfig() {
+  SimConfig cfg;
+  cfg.warmupCycles = 0;
+  cfg.measureCycles = 2'000;
+  cfg.drainLimit = 50'000;
+  cfg.progressTimeout = 20'000;
+  return cfg;
+}
+
+}  // namespace rair::testutil

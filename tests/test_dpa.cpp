@@ -1,0 +1,109 @@
+#include "core/dpa.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rair {
+namespace {
+
+TEST(Dpa, DefaultIsForeignHigh) {
+  DpaState s(0.2);
+  EXPECT_FALSE(s.nativeHigh());
+}
+
+TEST(Dpa, TransitionsToNativeHighAboveUpperThreshold) {
+  DpaState s(0.2);
+  // r = 1.1 < 1.2: inside the hysteresis band, no transition.
+  s.update({10, 11});
+  EXPECT_FALSE(s.nativeHigh());
+  // r = 1.3 > 1.2: native becomes high priority.
+  s.update({10, 13});
+  EXPECT_TRUE(s.nativeHigh());
+}
+
+TEST(Dpa, HoldsInsideHysteresisBand) {
+  DpaState s(0.2);
+  s.update({10, 15});  // r = 1.5 -> native high
+  ASSERT_TRUE(s.nativeHigh());
+  // r between 0.8 and 1.2 must not flip the state back.
+  s.update({10, 11});  // r = 1.1
+  EXPECT_TRUE(s.nativeHigh());
+  s.update({10, 9});  // r = 0.9
+  EXPECT_TRUE(s.nativeHigh());
+}
+
+TEST(Dpa, TransitionsBackBelowLowerThreshold) {
+  DpaState s(0.2);
+  s.update({10, 15});
+  ASSERT_TRUE(s.nativeHigh());
+  s.update({10, 7});  // r = 0.7 < 0.8 -> foreign high again
+  EXPECT_FALSE(s.nativeHigh());
+}
+
+TEST(Dpa, ZeroOccupancyHoldsState) {
+  DpaState s(0.2);
+  s.update({10, 15});
+  ASSERT_TRUE(s.nativeHigh());
+  s.update({0, 0});
+  EXPECT_TRUE(s.nativeHigh());
+}
+
+TEST(Dpa, NoNativeOccupancyMeansInfiniteRatio) {
+  DpaState s(0.2);
+  // Foreign-only occupancy: native has zero intensity -> maximally
+  // critical -> native high.
+  s.update({0, 5});
+  EXPECT_TRUE(s.nativeHigh());
+  EXPECT_TRUE(std::isinf(s.lastRatio()));
+}
+
+TEST(Dpa, NoForeignOccupancyKeepsOrMakesForeignHigh) {
+  DpaState s(0.2);
+  s.update({0, 5});
+  ASSERT_TRUE(s.nativeHigh());
+  // Native-only occupancy: r = 0 -> foreign high.
+  s.update({5, 0});
+  EXPECT_FALSE(s.nativeHigh());
+}
+
+TEST(Dpa, NegativeFeedbackLoopSelfThrottles) {
+  // Paper Sec. IV.D: if native occupies too many resources (low r), it is
+  // demoted; if foreign over-occupies (high r), native is promoted — so
+  // neither side can starve the other indefinitely.
+  DpaState s(0.2);
+  s.update({20, 2});  // native hogging -> r = 0.1 -> foreign high
+  EXPECT_FALSE(s.nativeHigh());
+  s.update({2, 20});  // foreign hogging -> r = 10 -> native high
+  EXPECT_TRUE(s.nativeHigh());
+}
+
+class DpaDeltaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DpaDeltaSweep, ThresholdsScaleWithDelta) {
+  const double delta = GetParam();
+  DpaState s(delta);
+  // Just inside the band: no transition.
+  const int n = 1000;
+  const int fInside = static_cast<int>(n * (1.0 + delta) - 1);
+  s.update({n, fInside});
+  EXPECT_FALSE(s.nativeHigh()) << "delta=" << delta;
+  // Just above: transition.
+  const int fAbove = static_cast<int>(n * (1.0 + delta) + 2);
+  s.update({n, fAbove});
+  EXPECT_TRUE(s.nativeHigh()) << "delta=" << delta;
+  // Just inside from above: hold.
+  const int fHold = static_cast<int>(n * (1.0 - delta) + 2);
+  s.update({n, fHold});
+  EXPECT_TRUE(s.nativeHigh()) << "delta=" << delta;
+  // Below lower threshold: back to foreign high.
+  const int fBelow = static_cast<int>(n * (1.0 - delta) - 2);
+  s.update({n, fBelow});
+  EXPECT_FALSE(s.nativeHigh()) << "delta=" << delta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, DpaDeltaSweep,
+                         ::testing::Values(0.1, 0.2, 0.3));
+
+}  // namespace
+}  // namespace rair

@@ -1,0 +1,68 @@
+#include "region/lbdr.h"
+
+#include <gtest/gtest.h>
+
+namespace rair {
+namespace {
+
+TEST(Lbdr, PaperFourteenPercentExample) {
+  // Paper Sec. III.B: 16 cores, 4 MCs, 4 applications of 4 threads each
+  // -> ~14% of mappings satisfy the one-MC-per-region constraint.
+  const double frac = lbdrValidMappingFraction(16, 4, 4, 4);
+  EXPECT_NEAR(frac, 0.1407, 0.001);
+}
+
+TEST(Lbdr, FewerMcsThanAppsIsImpossible) {
+  EXPECT_DOUBLE_EQ(lbdrValidMappingFraction(16, 3, 4, 4), 0.0);
+  EXPECT_DOUBLE_EQ(lbdrValidMappingFraction(8, 0, 2, 4), 0.0);
+}
+
+TEST(Lbdr, SingleAppAlwaysValidWithAnMc) {
+  EXPECT_DOUBLE_EQ(lbdrValidMappingFraction(8, 1, 1, 8), 1.0);
+  EXPECT_DOUBLE_EQ(lbdrValidMappingFraction(8, 4, 1, 8), 1.0);
+}
+
+TEST(Lbdr, TwoAppsTwoMcsByHand) {
+  // 4 cores {m1, m2, c1, c2}, 2 apps x 2 threads. Total partitions:
+  // C(4,2) = 6. Valid (each app one MC): app0 in {m1c1, m1c2, m2c1, m2c2}
+  // = 4. Fraction 2/3.
+  EXPECT_NEAR(lbdrValidMappingFraction(4, 2, 2, 2), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Lbdr, MoreMcsIncreaseValidFraction) {
+  const double f4 = lbdrValidMappingFraction(16, 4, 4, 4);
+  const double f6 = lbdrValidMappingFraction(16, 6, 4, 4);
+  const double f8 = lbdrValidMappingFraction(16, 8, 4, 4);
+  EXPECT_LT(f4, f6);
+  EXPECT_LT(f6, f8);
+  EXPECT_LE(f8, 1.0);
+}
+
+TEST(Lbdr, MappingValidityCheck) {
+  Mesh m(4, 4);
+  const auto corners = m.cornerNodes();  // 0, 3, 12, 15
+  // Quadrants: each quadrant contains exactly one corner -> valid.
+  const auto quads = RegionMap::quadrants(m);
+  EXPECT_TRUE(lbdrMappingValid(quads, corners));
+  // Vertical quarters (4 columns x 1): columns 1 and 2 contain no corner
+  // -> invalid, matching the paper's Fig. 3(b) intuition.
+  const auto stripes = RegionMap::blockGrid(m, 4, 1);
+  EXPECT_FALSE(lbdrMappingValid(stripes, corners));
+}
+
+TEST(Lbdr, PacketLegality) {
+  Mesh m(8, 8);
+  const auto rm = RegionMap::halves(m);
+  EXPECT_TRUE(lbdrPacketAllowed(rm, m.nodeAt({0, 0}), m.nodeAt({3, 7})));
+  EXPECT_FALSE(lbdrPacketAllowed(rm, m.nodeAt({0, 0}), m.nodeAt({4, 0})));
+}
+
+TEST(Lbdr, UnassignedNodesDoNotSatisfyConstraint) {
+  Mesh m(4, 4);
+  AppSpec a0{0, {5, 6, 9, 10}};  // interior block, no corners
+  const RegionMap rm(m, {a0});
+  EXPECT_FALSE(lbdrMappingValid(rm, m.cornerNodes()));
+}
+
+}  // namespace
+}  // namespace rair

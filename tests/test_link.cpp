@@ -1,0 +1,66 @@
+#include "router/link.h"
+
+#include <gtest/gtest.h>
+
+namespace rair {
+namespace {
+
+TEST(DelayPipe, DeliversAfterLatency) {
+  DelayPipe<int> p(2);
+  p.push(10, 42);
+  EXPECT_FALSE(p.pop(10).has_value());
+  EXPECT_FALSE(p.pop(11).has_value());
+  auto v = p.pop(12);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+  EXPECT_FALSE(p.pop(13).has_value());
+}
+
+TEST(DelayPipe, PreservesOrder) {
+  DelayPipe<int> p(1);
+  p.push(0, 1);
+  p.push(1, 2);
+  p.push(2, 3);
+  EXPECT_EQ(p.pop(5).value(), 1);
+  EXPECT_EQ(p.pop(5).value(), 2);
+  EXPECT_EQ(p.pop(5).value(), 3);
+  EXPECT_FALSE(p.pop(5).has_value());
+}
+
+TEST(DelayPipe, SizeAndEmpty) {
+  DelayPipe<int> p(1);
+  EXPECT_TRUE(p.empty());
+  p.push(0, 7);
+  EXPECT_EQ(p.size(), 1u);
+  (void)p.pop(1);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(Link, FlitAndCreditChannelsAreIndependent) {
+  Link link(1);
+  Flit f;
+  f.pkt = 9;
+  link.sendFlit(0, f, 2);
+  link.sendCredit(0, 3);
+
+  auto flit = link.recvFlit(1);
+  ASSERT_TRUE(flit.has_value());
+  EXPECT_EQ(flit->flit.pkt, 9u);
+  EXPECT_EQ(flit->vc, 2);
+
+  auto credit = link.recvCredit(1);
+  ASSERT_TRUE(credit.has_value());
+  EXPECT_EQ(credit->vc, 3);
+  EXPECT_TRUE(link.idle());
+}
+
+TEST(Link, NotVisibleBeforeLatency) {
+  Link link(1);
+  Flit f;
+  link.sendFlit(5, f, 0);
+  EXPECT_FALSE(link.recvFlit(5).has_value());
+  EXPECT_TRUE(link.recvFlit(6).has_value());
+}
+
+}  // namespace
+}  // namespace rair

@@ -1,0 +1,135 @@
+#include "topology/mesh.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rair {
+namespace {
+
+TEST(Mesh, Dimensions) {
+  Mesh m(8, 8);
+  EXPECT_EQ(m.width(), 8);
+  EXPECT_EQ(m.height(), 8);
+  EXPECT_EQ(m.numNodes(), 64);
+}
+
+TEST(Mesh, CoordRoundTrip) {
+  Mesh m(8, 4);
+  for (NodeId n = 0; n < m.numNodes(); ++n) {
+    EXPECT_EQ(m.nodeAt(m.coordOf(n)), n);
+  }
+}
+
+TEST(Mesh, RowMajorNumbering) {
+  Mesh m(8, 8);
+  EXPECT_EQ(m.nodeAt({0, 0}), 0);
+  EXPECT_EQ(m.nodeAt({7, 0}), 7);
+  EXPECT_EQ(m.nodeAt({0, 1}), 8);
+  EXPECT_EQ(m.nodeAt({7, 7}), 63);
+}
+
+TEST(Mesh, NeighborsInterior) {
+  Mesh m(8, 8);
+  const NodeId n = m.nodeAt({3, 3});
+  EXPECT_EQ(m.neighbor(n, Dir::North), m.nodeAt({3, 2}));
+  EXPECT_EQ(m.neighbor(n, Dir::South), m.nodeAt({3, 4}));
+  EXPECT_EQ(m.neighbor(n, Dir::East), m.nodeAt({4, 3}));
+  EXPECT_EQ(m.neighbor(n, Dir::West), m.nodeAt({2, 3}));
+  EXPECT_FALSE(m.neighbor(n, Dir::Local).has_value());
+}
+
+TEST(Mesh, NeighborsAtEdges) {
+  Mesh m(8, 8);
+  EXPECT_FALSE(m.neighbor(m.nodeAt({0, 0}), Dir::North).has_value());
+  EXPECT_FALSE(m.neighbor(m.nodeAt({0, 0}), Dir::West).has_value());
+  EXPECT_FALSE(m.neighbor(m.nodeAt({7, 7}), Dir::South).has_value());
+  EXPECT_FALSE(m.neighbor(m.nodeAt({7, 7}), Dir::East).has_value());
+}
+
+TEST(Mesh, NeighborSymmetry) {
+  Mesh m(5, 7);
+  for (NodeId n = 0; n < m.numNodes(); ++n) {
+    for (Dir d : {Dir::North, Dir::East, Dir::South, Dir::West}) {
+      if (auto nb = m.neighbor(n, d)) {
+        EXPECT_EQ(m.neighbor(*nb, opposite(d)), n);
+      }
+    }
+  }
+}
+
+TEST(Mesh, HopDistance) {
+  Mesh m(8, 8);
+  EXPECT_EQ(m.hopDistance(m.nodeAt({0, 0}), m.nodeAt({0, 0})), 0);
+  EXPECT_EQ(m.hopDistance(m.nodeAt({0, 0}), m.nodeAt({7, 7})), 14);
+  EXPECT_EQ(m.hopDistance(m.nodeAt({2, 3}), m.nodeAt({5, 1})), 5);
+}
+
+TEST(Mesh, MinimalDirsQuadrant) {
+  Mesh m(8, 8);
+  const NodeId src = m.nodeAt({3, 3});
+  auto md = m.minimalDirs(src, m.nodeAt({5, 6}));
+  ASSERT_EQ(md.count, 2);
+  EXPECT_EQ(md.dirs[0], Dir::East);
+  EXPECT_EQ(md.dirs[1], Dir::South);
+
+  md = m.minimalDirs(src, m.nodeAt({1, 3}));
+  ASSERT_EQ(md.count, 1);
+  EXPECT_EQ(md.dirs[0], Dir::West);
+
+  md = m.minimalDirs(src, m.nodeAt({3, 0}));
+  ASSERT_EQ(md.count, 1);
+  EXPECT_EQ(md.dirs[0], Dir::North);
+
+  md = m.minimalDirs(src, src);
+  EXPECT_EQ(md.count, 0);
+}
+
+TEST(Mesh, MinimalDirsAlwaysReduceDistance) {
+  Mesh m(6, 6);
+  for (NodeId s = 0; s < m.numNodes(); ++s) {
+    for (NodeId d = 0; d < m.numNodes(); ++d) {
+      if (s == d) continue;
+      const auto md = m.minimalDirs(s, d);
+      ASSERT_GE(md.count, 1);
+      for (int i = 0; i < md.count; ++i) {
+        const auto nb = m.neighbor(s, md.dirs[i]);
+        ASSERT_TRUE(nb.has_value());
+        EXPECT_EQ(m.hopDistance(*nb, d), m.hopDistance(s, d) - 1);
+      }
+    }
+  }
+}
+
+TEST(Mesh, CornerNodes) {
+  Mesh m(8, 8);
+  const auto corners = m.cornerNodes();
+  const std::set<NodeId> expect = {0, 7, 56, 63};
+  EXPECT_EQ(std::set<NodeId>(corners.begin(), corners.end()), expect);
+}
+
+TEST(Mesh, OppositeDirs) {
+  EXPECT_EQ(opposite(Dir::North), Dir::South);
+  EXPECT_EQ(opposite(Dir::South), Dir::North);
+  EXPECT_EQ(opposite(Dir::East), Dir::West);
+  EXPECT_EQ(opposite(Dir::West), Dir::East);
+}
+
+TEST(Mesh, DirNames) {
+  EXPECT_EQ(dirName(Dir::Local), "L");
+  EXPECT_EQ(dirName(Dir::North), "N");
+  EXPECT_EQ(dirName(Dir::East), "E");
+  EXPECT_EQ(dirName(Dir::South), "S");
+  EXPECT_EQ(dirName(Dir::West), "W");
+}
+
+TEST(Mesh, NonSquareMesh) {
+  Mesh m(4, 2);
+  EXPECT_EQ(m.numNodes(), 8);
+  EXPECT_EQ(m.coordOf(5).x, 1);
+  EXPECT_EQ(m.coordOf(5).y, 1);
+  EXPECT_EQ(m.hopDistance(0, 7), 4);
+}
+
+}  // namespace
+}  // namespace rair

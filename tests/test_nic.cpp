@@ -1,0 +1,90 @@
+// NIC behaviour: per-(class, application) source queues, injection
+// fairness, and credit handling.
+#include <gtest/gtest.h>
+
+#include "sim_test_util.h"
+#include "traffic/generator.h"
+
+namespace rair {
+namespace {
+
+using testutil::ScriptedSource;
+
+TEST(Nic, BacklogOfOneAppDoesNotHeadOfLineBlockAnother) {
+  // 200 packets of app 1 and a single app 0 packet are queued at the same
+  // NIC in the same cycle. With per-app source queues the app 0 packet
+  // must go out almost immediately instead of waiting behind the backlog.
+  Mesh m(4, 1);
+  AppSpec a0{0, {0, 1}};
+  AppSpec a1{1, {2, 3}};
+  const RegionMap rm(m, {a0, a1});
+  RoundRobinPolicy policy;
+  Simulator sim(m, rm, testutil::fastConfig(), policy, 2);
+  std::vector<ScriptedSource::Event> events;
+  for (int i = 0; i < 200; ++i) events.push_back({0, 0, 3, 1, 5});
+  events.push_back({0, 0, 3, 0, 1});
+  sim.addSource(std::make_unique<ScriptedSource>(events));
+  const auto r = sim.run();
+  EXPECT_EQ(r.packetsDelivered, 201u);
+  // Zero-load latency for 3 hops is 17; allow contention for link share
+  // with the backlog but far below the ~1000+ cycles full serialization
+  // behind 200 five-flit packets would cost.
+  EXPECT_LT(r.stats.appApl(0), 120.0);
+  EXPECT_GT(r.stats.appApl(1), r.stats.appApl(0));
+}
+
+TEST(Nic, InjectionRespectsLinkBandwidth) {
+  // N single-flit packets queued at once: the NIC injects at most one
+  // flit per cycle, so the last packet leaves >= N-1 cycles after the
+  // first. Delivered spacing reflects that serialization.
+  Mesh m(2, 1);
+  const auto rm = RegionMap::halves(m);
+  RoundRobinPolicy policy;
+  Simulator sim(m, rm, testutil::fastConfig(), policy, 2);
+  std::vector<ScriptedSource::Event> events;
+  constexpr int kN = 30;
+  for (int i = 0; i < kN; ++i) events.push_back({0, 0, 1, 0, 1});
+  sim.addSource(std::make_unique<ScriptedSource>(events));
+  const auto r = sim.run();
+  EXPECT_EQ(r.packetsDelivered, kN);
+  // Min latency = zero-load (9 for 1 hop); max >= kN - 1 extra cycles of
+  // source serialization.
+  EXPECT_GE(r.stats.app(0).totalLatency.max(),
+            r.stats.app(0).totalLatency.min() + kN - 1);
+}
+
+TEST(Nic, MessageClassesUseSeparateQueuesAndVcs) {
+  Mesh m(2, 1);
+  const auto rm = RegionMap::halves(m);
+  RoundRobinPolicy policy;
+  auto cfg = testutil::fastConfig();
+  cfg.net.numClasses = 2;
+  cfg.net.vcsPerClass = 4;
+  Simulator sim(m, rm, cfg, policy, 2);
+  // A long burst of Request-class packets plus one Reply-class packet.
+  std::vector<ScriptedSource::Event> events;
+  for (int i = 0; i < 50; ++i)
+    events.push_back({0, 0, 1, 0, 5, MsgClass::Request});
+  events.push_back({0, 0, 1, 0, 1, MsgClass::Reply});
+  sim.addSource(std::make_unique<ScriptedSource>(events));
+  const auto r = sim.run();
+  EXPECT_EQ(r.packetsDelivered, 51u);
+  // The reply must not wait for the whole request backlog (~250 flits).
+  EXPECT_LT(r.stats.app(0).totalLatency.min(), 60.0);
+}
+
+TEST(Nic, QuiescentWhenAllDelivered) {
+  Mesh m(2, 1);
+  const auto rm = RegionMap::halves(m);
+  RoundRobinPolicy policy;
+  Simulator sim(m, rm, testutil::fastConfig(), policy, 2);
+  sim.addSource(std::make_unique<ScriptedSource>(
+      std::vector<ScriptedSource::Event>{{0, 0, 1, 0, 5}}));
+  const auto r = sim.run();
+  EXPECT_TRUE(r.fullyDrained);
+  EXPECT_TRUE(sim.network().nic(0).quiescent());
+  EXPECT_EQ(sim.network().nic(0).queuedPackets(), 0u);
+}
+
+}  // namespace
+}  // namespace rair

@@ -1,0 +1,93 @@
+#include "packet/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace rair {
+namespace {
+
+Packet makePacket(std::uint16_t flits) {
+  Packet p;
+  p.id = 77;
+  p.src = 3;
+  p.dst = 12;
+  p.app = 2;
+  p.msgClass = MsgClass::Reply;
+  p.numFlits = flits;
+  p.createCycle = 100;
+  return p;
+}
+
+TEST(Packet, SingleFlitIsHeadTail) {
+  const auto flits = packetToFlits(makePacket(1));
+  ASSERT_EQ(flits.size(), 1u);
+  EXPECT_EQ(flits[0].type, FlitType::HeadTail);
+  EXPECT_TRUE(isHead(flits[0].type));
+  EXPECT_TRUE(isTail(flits[0].type));
+}
+
+TEST(Packet, MultiFlitStructure) {
+  const auto flits = packetToFlits(makePacket(5));
+  ASSERT_EQ(flits.size(), 5u);
+  EXPECT_EQ(flits[0].type, FlitType::Head);
+  EXPECT_EQ(flits[1].type, FlitType::Body);
+  EXPECT_EQ(flits[2].type, FlitType::Body);
+  EXPECT_EQ(flits[3].type, FlitType::Body);
+  EXPECT_EQ(flits[4].type, FlitType::Tail);
+  EXPECT_TRUE(isHead(flits[0].type));
+  EXPECT_FALSE(isTail(flits[0].type));
+  EXPECT_TRUE(isTail(flits[4].type));
+  EXPECT_FALSE(isHead(flits[4].type));
+}
+
+TEST(Packet, TwoFlitPacketHasHeadAndTail) {
+  const auto flits = packetToFlits(makePacket(2));
+  ASSERT_EQ(flits.size(), 2u);
+  EXPECT_EQ(flits[0].type, FlitType::Head);
+  EXPECT_EQ(flits[1].type, FlitType::Tail);
+}
+
+TEST(Packet, FlitsCarryPacketMetadata) {
+  const Packet p = makePacket(5);
+  const auto flits = packetToFlits(p);
+  for (std::size_t i = 0; i < flits.size(); ++i) {
+    EXPECT_EQ(flits[i].pkt, p.id);
+    EXPECT_EQ(flits[i].src, p.src);
+    EXPECT_EQ(flits[i].dst, p.dst);
+    EXPECT_EQ(flits[i].app, p.app);
+    EXPECT_EQ(flits[i].msgClass, p.msgClass);
+    EXPECT_EQ(flits[i].seq, i);
+    EXPECT_EQ(flits[i].pktFlits, p.numFlits);
+    EXPECT_EQ(flits[i].createCycle, p.createCycle);
+  }
+}
+
+TEST(Packet, LatencyAccessors) {
+  Packet p = makePacket(1);
+  p.createCycle = 100;
+  p.injectCycle = 110;
+  p.ejectCycle = 150;
+  EXPECT_EQ(p.totalLatency(), 50u);
+  EXPECT_EQ(p.networkLatency(), 40u);
+}
+
+TEST(Packet, BimodalLengthDistribution) {
+  Xoshiro256StarStar rng(1234);
+  int shortCount = 0, longCount = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const auto len = drawBimodalLength(rng);
+    ASSERT_TRUE(len == kShortPacketFlits || len == kLongPacketFlits);
+    (len == kShortPacketFlits ? shortCount : longCount)++;
+  }
+  // Each length is picked with probability 1/2.
+  EXPECT_NEAR(static_cast<double>(shortCount) / kN, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(longCount) / kN, 0.5, 0.02);
+}
+
+TEST(Packet, PaperFlitLengths) {
+  EXPECT_EQ(kShortPacketFlits, 1);
+  EXPECT_EQ(kLongPacketFlits, 5);
+}
+
+}  // namespace
+}  // namespace rair

@@ -1,0 +1,134 @@
+#include "trace/parsec.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rair_policy.h"
+#include "sim_test_util.h"
+
+namespace rair {
+namespace {
+
+TEST(Parsec, AllThirteenBenchmarksNamed) {
+  for (int b = 0; b <= static_cast<int>(ParsecBenchmark::X264); ++b) {
+    EXPECT_NE(parsecName(static_cast<ParsecBenchmark>(b)), "?");
+  }
+  EXPECT_EQ(parsecName(ParsecBenchmark::Blackscholes), "blackscholes");
+  EXPECT_EQ(parsecName(ParsecBenchmark::Raytrace), "raytrace");
+}
+
+TEST(Parsec, IntensityOrderingOfPresentedSubset) {
+  // The paper's representative subset must span low to high intensity in
+  // this order (Fig. 16 discussion).
+  const double bs = parsecProfile(ParsecBenchmark::Blackscholes).requestRate;
+  const double sw = parsecProfile(ParsecBenchmark::Swaptions).requestRate;
+  const double fl = parsecProfile(ParsecBenchmark::Fluidanimate).requestRate;
+  const double rt = parsecProfile(ParsecBenchmark::Raytrace).requestRate;
+  EXPECT_LT(bs, sw);
+  EXPECT_LT(sw, fl);
+  EXPECT_LT(fl, rt);
+}
+
+TEST(Parsec, ProfilesAreRegionalized) {
+  for (int b = 0; b <= static_cast<int>(ParsecBenchmark::X264); ++b) {
+    const auto p = parsecProfile(static_cast<ParsecBenchmark>(b));
+    // RB-3: the majority of traffic is intra-region.
+    EXPECT_GT(p.localFraction, 0.5) << parsecName(p.benchmark);
+    EXPECT_GE(p.memFraction(), 0.0) << parsecName(p.benchmark);
+    EXPECT_LE(p.localFraction + p.remoteFraction, 1.0);
+  }
+}
+
+TEST(Parsec, SourceGeneratesOnlyFromItsRegion) {
+  Mesh m(8, 8);
+  const auto rm = RegionMap::quadrants(m);
+  RoundRobinPolicy policy;
+  auto cfg = testutil::fastConfig();
+  cfg.measureCycles = 1500;
+  Simulator sim(m, rm, cfg, policy, 4);
+  sim.addSource(std::make_unique<ParsecSource>(
+      m, rm, 2, parsecProfile(ParsecBenchmark::Raytrace), 3));
+  const auto r = sim.run();
+  EXPECT_GT(r.packetsCreated, 50u);
+  EXPECT_EQ(r.stats.app(2).packetsCreated, r.packetsCreated);
+  for (AppId a : {0, 1, 3}) EXPECT_EQ(r.stats.app(a).packetsCreated, 0u);
+}
+
+TEST(Parsec, RequestReplyHookGeneratesReplies) {
+  Mesh m(8, 8);
+  const auto rm = RegionMap::quadrants(m);
+  RoundRobinPolicy policy;
+  auto cfg = testutil::fastConfig();
+  cfg.measureCycles = 2000;
+  cfg.net.numClasses = 2;  // Table 1: VCs per protocol class
+  cfg.net.vcsPerClass = 4;
+  Simulator sim(m, rm, cfg, policy, 4);
+  installRequestReplyHook(sim, m, MemoryTimings{},
+                          cfg.warmupCycles + cfg.measureCycles);
+  sim.addSource(std::make_unique<ParsecSource>(
+      m, rm, 0, parsecProfile(ParsecBenchmark::Fluidanimate), 5));
+  std::uint64_t requests = 0, replies = 0;
+  sim.setDeliveryObserver([&](const Packet& p) {
+    (p.msgClass == MsgClass::Request ? requests : replies)++;
+  });
+  const auto r = sim.run();
+  EXPECT_TRUE(r.fullyDrained);
+  // Roughly one reply per request delivered before the cutoff (a handful
+  // of replies to late requests may still be in flight at exit).
+  EXPECT_GT(requests, 50u);
+  EXPECT_GT(replies, requests / 2);
+  EXPECT_GE(r.packetsDelivered + 20, r.packetsCreated);
+}
+
+TEST(Parsec, MemoryRequestsPayMemoryLatency) {
+  // A request to a corner MC must come back ~memLatency later; one to an
+  // L2 bank after ~l2Latency. Use scripted single requests and compare.
+  Mesh m(8, 8);
+  const auto rm = RegionMap::quadrants(m);
+  RoundRobinPolicy policy;
+  auto cfg = testutil::fastConfig();
+  cfg.net.numClasses = 2;
+  Simulator sim(m, rm, cfg, policy, 4);
+  MemoryTimings t;
+  installRequestReplyHook(sim, m, t, 100'000);
+  // Node (1,1) -> corner (0,0) [memory] and -> (2,1) [L2 bank]. A reply's
+  // createCycle is when the serving node issued it, so the service latency
+  // is visible as the gap between reply creation times.
+  Cycle memReplyCreated = 0, l2ReplyCreated = 0;
+  sim.setDeliveryObserver([&](const Packet& p) {
+    if (p.msgClass != MsgClass::Reply) return;
+    (m.coordOf(p.src).x == 0 ? memReplyCreated : l2ReplyCreated) =
+        p.createCycle;
+  });
+  sim.addSource(std::make_unique<testutil::ScriptedSource>(
+      std::vector<testutil::ScriptedSource::Event>{
+          {0, m.nodeAt({1, 1}), m.nodeAt({0, 0}), 0, 1, MsgClass::Request},
+          {0, m.nodeAt({1, 1}), m.nodeAt({2, 1}), 0, 1, MsgClass::Request},
+      }));
+  const auto r = sim.run();
+  // 2 requests + 2 replies.
+  EXPECT_EQ(r.packetsDelivered, 4u);
+  // The memory reply was issued ~ (memLatency - l2Latency) later than the
+  // L2 reply (request distances are 2 hops vs 1 hop; service dominates).
+  ASSERT_GT(memReplyCreated, 0u);
+  ASSERT_GT(l2ReplyCreated, 0u);
+  EXPECT_GT(memReplyCreated, l2ReplyCreated + (t.memLatency - t.l2Latency) / 2);
+}
+
+TEST(Parsec, HookRespectsCutoff) {
+  Mesh m(4, 4);
+  const auto rm = RegionMap::halves(m);
+  RoundRobinPolicy policy;
+  auto cfg = testutil::fastConfig();
+  cfg.net.numClasses = 2;
+  Simulator sim(m, rm, cfg, policy, 2);
+  installRequestReplyHook(sim, m, MemoryTimings{}, /*replyCutoff=*/1);
+  sim.addSource(std::make_unique<testutil::ScriptedSource>(
+      std::vector<testutil::ScriptedSource::Event>{
+          {5, 0, 15, 0, 1, MsgClass::Request}}));
+  const auto r = sim.run();
+  // Request delivered after the cutoff -> no reply generated.
+  EXPECT_EQ(r.packetsDelivered, 1u);
+}
+
+}  // namespace
+}  // namespace rair

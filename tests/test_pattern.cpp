@@ -1,0 +1,99 @@
+#include "traffic/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace rair {
+namespace {
+
+TEST(Pattern, UniformRandomNeverPicksSource) {
+  Mesh m(8, 8);
+  auto p = makePattern(PatternKind::UniformRandom, m);
+  Xoshiro256StarStar rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const NodeId d = p->pick(13, rng);
+    EXPECT_NE(d, 13);
+    EXPECT_TRUE(m.contains(d));
+  }
+}
+
+TEST(Pattern, UniformRandomCoversAllDestinations) {
+  Mesh m(4, 4);
+  auto p = makePattern(PatternKind::UniformRandom, m);
+  Xoshiro256StarStar rng(2);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 3000; ++i) seen.insert(p->pick(0, rng));
+  EXPECT_EQ(seen.size(), 15u);  // every node except the source
+}
+
+TEST(Pattern, TransposeMapsCoordinates) {
+  Mesh m(8, 8);
+  auto p = makePattern(PatternKind::Transpose, m);
+  Xoshiro256StarStar rng(3);
+  EXPECT_EQ(p->pick(m.nodeAt({2, 5}), rng), m.nodeAt({5, 2}));
+  EXPECT_EQ(p->pick(m.nodeAt({7, 0}), rng), m.nodeAt({0, 7}));
+  // Diagonal maps to itself (callers skip such packets).
+  EXPECT_EQ(p->pick(m.nodeAt({4, 4}), rng), m.nodeAt({4, 4}));
+}
+
+TEST(Pattern, BitComplementMirrorsIds) {
+  Mesh m(8, 8);
+  auto p = makePattern(PatternKind::BitComplement, m);
+  Xoshiro256StarStar rng(4);
+  EXPECT_EQ(p->pick(0, rng), 63);
+  EXPECT_EQ(p->pick(63, rng), 0);
+  EXPECT_EQ(p->pick(20, rng), 43);
+}
+
+TEST(Pattern, HotspotDefaultsToCenter) {
+  Mesh m(8, 8);
+  auto p = makePattern(PatternKind::Hotspot, m);
+  Xoshiro256StarStar rng(5);
+  const std::set<NodeId> expect = {m.nodeAt({3, 3}), m.nodeAt({4, 3}),
+                                   m.nodeAt({3, 4}), m.nodeAt({4, 4})};
+  std::set<NodeId> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(p->pick(0, rng));
+  EXPECT_EQ(seen, expect);
+}
+
+TEST(Pattern, HotspotCustomNodes) {
+  Mesh m(8, 8);
+  auto p = makePattern(PatternKind::Hotspot, m, {7, 56});
+  Xoshiro256StarStar rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId d = p->pick(0, rng);
+    EXPECT_TRUE(d == 7 || d == 56);
+  }
+}
+
+TEST(Pattern, SetUniformStaysInSet) {
+  SetUniformPattern p({3, 7, 11, 19});
+  Xoshiro256StarStar rng(7);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const NodeId d = p.pick(7, rng);
+    EXPECT_NE(d, 7);
+    seen.insert(d);
+  }
+  EXPECT_EQ(seen, (std::set<NodeId>{3, 11, 19}));
+}
+
+TEST(Pattern, SetUniformSourceOutsideSet) {
+  SetUniformPattern p({3, 7});
+  Xoshiro256StarStar rng(8);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(p.pick(100, rng));
+  EXPECT_EQ(seen, (std::set<NodeId>{3, 7}));
+}
+
+TEST(Pattern, Names) {
+  EXPECT_STREQ(patternName(PatternKind::UniformRandom), "UR");
+  EXPECT_STREQ(patternName(PatternKind::Transpose), "TP");
+  EXPECT_STREQ(patternName(PatternKind::BitComplement), "BC");
+  EXPECT_STREQ(patternName(PatternKind::Hotspot), "HS");
+}
+
+}  // namespace
+}  // namespace rair

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "core/rair_policy.h"
+#include "policy/policy.h"
+#include "policy/stc.h"
+
+namespace rair {
+namespace {
+
+Flit mkFlit(AppId app, Cycle create) {
+  Flit f;
+  f.app = app;
+  f.createCycle = create;
+  return f;
+}
+
+ArbCandidate mkCand(const Flit& f, AppId routerApp,
+                    VcClass outClass = VcClass::Adaptive, Cycle now = 100) {
+  ArbCandidate c;
+  c.flit = &f;
+  c.routerApp = routerApp;
+  c.outVcClass = outClass;
+  c.native = (routerApp != kNoApp && f.app == routerApp);
+  c.now = now;
+  return c;
+}
+
+TEST(RoundRobinPolicy, AllCandidatesEqual) {
+  RoundRobinPolicy p;
+  const Flit a = mkFlit(0, 10), b = mkFlit(1, 5);
+  EXPECT_EQ(p.priority(ArbStage::VaOut, mkCand(a, 0), nullptr),
+            p.priority(ArbStage::VaOut, mkCand(b, 0), nullptr));
+  EXPECT_EQ(p.makeState(), nullptr);
+  EXPECT_STREQ(p.name(), "RO_RR");
+}
+
+TEST(AgeBasedPolicy, OlderWins) {
+  AgeBasedPolicy p;
+  const Flit older = mkFlit(0, 10), younger = mkFlit(0, 50);
+  EXPECT_GT(p.priority(ArbStage::SaIn, mkCand(older, 0), nullptr),
+            p.priority(ArbStage::SaIn, mkCand(younger, 0), nullptr));
+}
+
+TEST(StcRank, RanksFromIntensitiesOrdering) {
+  // Lower intensity -> better (smaller) rank.
+  const auto ranks = StcRankPolicy::ranksFromIntensities({0.3, 0.1, 0.2});
+  EXPECT_EQ(ranks[0], 2);
+  EXPECT_EQ(ranks[1], 0);
+  EXPECT_EQ(ranks[2], 1);
+}
+
+TEST(StcRank, RanksFromIntensitiesStableOnTies) {
+  const auto ranks = StcRankPolicy::ranksFromIntensities({0.1, 0.1});
+  EXPECT_EQ(ranks[0], 0);
+  EXPECT_EQ(ranks[1], 1);
+}
+
+TEST(StcRank, LowIntensityAppWinsWithinBatch) {
+  StcRankPolicy p(StcRankPolicy::ranksFromIntensities({0.9, 0.1}), 1000);
+  const Flit intense = mkFlit(0, 100), light = mkFlit(1, 100);
+  EXPECT_GT(p.priority(ArbStage::VaOut, mkCand(light, 0), nullptr),
+            p.priority(ArbStage::VaOut, mkCand(intense, 0), nullptr));
+}
+
+TEST(StcRank, OlderBatchBeatsBetterRank) {
+  StcRankPolicy p(StcRankPolicy::ranksFromIntensities({0.9, 0.1}), 1000);
+  // Intense app's packet from batch 0 vs light app's packet from batch 5.
+  const Flit oldIntense = mkFlit(0, 500), newLight = mkFlit(1, 5500);
+  EXPECT_GT(p.priority(ArbStage::VaOut, mkCand(oldIntense, 0), nullptr),
+            p.priority(ArbStage::VaOut, mkCand(newLight, 0), nullptr));
+}
+
+TEST(StcRank, UnknownAppGetsWorstRank) {
+  StcRankPolicy p({0, 1}, 1000);
+  EXPECT_EQ(p.rankOf(0), 0);
+  EXPECT_EQ(p.rankOf(1), 1);
+  EXPECT_EQ(p.rankOf(7), 2);
+  EXPECT_EQ(p.rankOf(kNoApp), 2);
+}
+
+// ---- RAIR policy ----------------------------------------------------------
+
+TEST(RairPolicy, GlobalVcAlwaysFavorsForeign) {
+  RairPolicy p;  // Dynamic mode, but global VCs are unconditional
+  auto state = p.makeState();
+  const Flit nativeF = mkFlit(0, 10), foreignF = mkFlit(1, 10);
+  const auto pn = p.priority(ArbStage::VaOut,
+                             mkCand(nativeF, 0, VcClass::Global), state.get());
+  const auto pf = p.priority(
+      ArbStage::VaOut, mkCand(foreignF, 0, VcClass::Global), state.get());
+  EXPECT_GT(pf, pn);
+}
+
+TEST(RairPolicy, RegionalVcFollowsDpaDefault) {
+  RairPolicy p;
+  auto state = p.makeState();
+  // Default DPA state: foreign high.
+  const Flit nativeF = mkFlit(0, 10), foreignF = mkFlit(1, 10);
+  EXPECT_GT(p.priority(ArbStage::VaOut, mkCand(foreignF, 0, VcClass::Regional),
+                       state.get()),
+            p.priority(ArbStage::VaOut, mkCand(nativeF, 0, VcClass::Regional),
+                       state.get()));
+}
+
+TEST(RairPolicy, RegionalVcFollowsDpaAfterTransition) {
+  RairPolicy p;
+  auto state = p.makeState();
+  // Foreign over-occupies: native becomes high priority.
+  p.updateState(state.get(), {2, 10});
+  const Flit nativeF = mkFlit(0, 10), foreignF = mkFlit(1, 10);
+  EXPECT_GT(p.priority(ArbStage::VaOut, mkCand(nativeF, 0, VcClass::Regional),
+                       state.get()),
+            p.priority(ArbStage::VaOut, mkCand(foreignF, 0, VcClass::Regional),
+                       state.get()));
+  // Global VCs still favor foreign regardless of DPA.
+  EXPECT_GT(p.priority(ArbStage::VaOut, mkCand(foreignF, 0, VcClass::Global),
+                       state.get()),
+            p.priority(ArbStage::VaOut, mkCand(nativeF, 0, VcClass::Global),
+                       state.get()));
+}
+
+TEST(RairPolicy, SaStagesUseDpaPriority) {
+  RairPolicy p;
+  auto state = p.makeState();
+  const Flit nativeF = mkFlit(0, 10), foreignF = mkFlit(1, 10);
+  for (ArbStage st : {ArbStage::SaIn, ArbStage::SaOut}) {
+    EXPECT_GT(p.priority(st, mkCand(foreignF, 0), state.get()),
+              p.priority(st, mkCand(nativeF, 0), state.get()));
+  }
+}
+
+TEST(RairPolicy, VaOnlyModeDisablesSa) {
+  RairConfig cfg;
+  cfg.applyAtSa = false;
+  RairPolicy p(cfg);
+  auto state = p.makeState();
+  const Flit nativeF = mkFlit(0, 10), foreignF = mkFlit(1, 10);
+  EXPECT_EQ(p.priority(ArbStage::SaIn, mkCand(foreignF, 0), state.get()),
+            p.priority(ArbStage::SaIn, mkCand(nativeF, 0), state.get()));
+  // VA still enforced.
+  EXPECT_NE(p.priority(ArbStage::VaOut, mkCand(foreignF, 0, VcClass::Regional),
+                       state.get()),
+            p.priority(ArbStage::VaOut, mkCand(nativeF, 0, VcClass::Regional),
+                       state.get()));
+  EXPECT_STREQ(p.name(), "RAIR_VA");
+}
+
+TEST(RairPolicy, StaticModes) {
+  RairConfig nat;
+  nat.dpaMode = DpaMode::NativeHigh;
+  RairPolicy pn(nat);
+  auto sn = pn.makeState();
+  const Flit nativeF = mkFlit(0, 10), foreignF = mkFlit(1, 10);
+  EXPECT_GT(pn.priority(ArbStage::SaIn, mkCand(nativeF, 0), sn.get()),
+            pn.priority(ArbStage::SaIn, mkCand(foreignF, 0), sn.get()));
+  EXPECT_STREQ(pn.name(), "RAIR_NativeH");
+
+  RairConfig fgn;
+  fgn.dpaMode = DpaMode::ForeignHigh;
+  RairPolicy pf(fgn);
+  auto sf = pf.makeState();
+  // Even after an occupancy pattern that would flip DPA, ForeignHigh holds.
+  pf.updateState(sf.get(), {1, 100});
+  EXPECT_GT(pf.priority(ArbStage::SaIn, mkCand(foreignF, 0), sf.get()),
+            pf.priority(ArbStage::SaIn, mkCand(nativeF, 0), sf.get()));
+  EXPECT_STREQ(pf.name(), "RAIR_ForeignH");
+}
+
+TEST(RairPolicy, UntaggedRouterTreatsAllAsForeign) {
+  RairPolicy p;
+  auto state = p.makeState();
+  const Flit a = mkFlit(0, 10), b = mkFlit(1, 10);
+  // At a router with no app tag nothing is native: equal priority, RR ties.
+  EXPECT_EQ(
+      p.priority(ArbStage::SaIn, mkCand(a, kNoApp), state.get()),
+      p.priority(ArbStage::SaIn, mkCand(b, kNoApp), state.get()));
+}
+
+}  // namespace
+}  // namespace rair

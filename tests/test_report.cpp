@@ -1,0 +1,67 @@
+#include "stats/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rair {
+namespace {
+
+TEST(Report, FormatNum) {
+  EXPECT_EQ(formatNum(3.14159, 2), "3.14");
+  EXPECT_EQ(formatNum(3.14159, 0), "3");
+  EXPECT_EQ(formatNum(-1.5, 1), "-1.5");
+}
+
+TEST(Report, FormatPct) {
+  EXPECT_EQ(formatPct(0.124, 1), "+12.4%");
+  EXPECT_EQ(formatPct(-0.033, 1), "-3.3%");
+  EXPECT_EQ(formatPct(0.0, 1), "+0.0%");
+}
+
+TEST(Report, TableRendersHeadersAndRows) {
+  TextTable t({"scheme", "App 0", "App 1"});
+  const auto r = t.addRow();
+  t.set(r, 0, "RO_RR");
+  t.setNum(r, 1, 41.25);
+  t.setNum(r, 2, 63.1);
+  const std::string out = t.toString();
+  EXPECT_NE(out.find("scheme"), std::string::npos);
+  EXPECT_NE(out.find("RO_RR"), std::string::npos);
+  EXPECT_NE(out.find("41.25"), std::string::npos);
+  EXPECT_NE(out.find("63.10"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Report, TableColumnsAligned) {
+  TextTable t({"a", "bbbb"});
+  t.addRow({"xxxxxx", "y"});
+  std::istringstream in(t.toString());
+  std::string header, rule, row;
+  std::getline(in, header);
+  std::getline(in, rule);
+  std::getline(in, row);
+  // The second column starts at the same offset in every line.
+  const auto colInHeader = header.find("bbbb");
+  const auto colInRow = row.find('y');
+  EXPECT_EQ(colInHeader, colInRow);
+}
+
+TEST(Report, AddRowVectorForm) {
+  TextTable t({"x", "y"});
+  t.addRow({"1", "2"});
+  t.addRow({"3", "4"});
+  const std::string out = t.toString();
+  EXPECT_NE(out.find('3'), std::string::npos);
+}
+
+TEST(Report, PctCell) {
+  TextTable t({"scheme", "gain"});
+  const auto r = t.addRow();
+  t.set(r, 0, "RAIR");
+  t.setPct(r, 1, 0.101);
+  EXPECT_NE(t.toString().find("+10.1%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rair

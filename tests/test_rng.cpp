@@ -1,0 +1,121 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace rair {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256StarStar a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256StarStar a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Xoshiro256StarStar rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Xoshiro256StarStar rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Xoshiro256StarStar rng(3);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    sawLo |= (v == -2);
+    sawHi |= (v == 2);
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, RealInUnitInterval) {
+  Xoshiro256StarStar rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.real();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, RealMeanIsHalf) {
+  Xoshiro256StarStar rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.real();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Xoshiro256StarStar rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceFrequencyMatchesP) {
+  Xoshiro256StarStar rng(17);
+  constexpr int kN = 200000;
+  int hits = 0;
+  for (int i = 0; i < kN; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Xoshiro256StarStar parent(21);
+  Xoshiro256StarStar childA = parent.split();
+  Xoshiro256StarStar childB = parent.split();
+  // Children and parent should produce pairwise different streams.
+  int sameAB = 0, sameAP = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto a = childA();
+    const auto b = childB();
+    const auto p = parent();
+    sameAB += (a == b);
+    sameAP += (a == p);
+  }
+  EXPECT_EQ(sameAB, 0);
+  EXPECT_EQ(sameAP, 0);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Xoshiro256StarStar p1(33), p2(33);
+  auto c1 = p1.split();
+  auto c2 = p2.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(c1(), c2());
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Xoshiro256StarStar rng(5);
+  constexpr std::uint64_t kBuckets = 8;
+  constexpr int kN = 80000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kN; ++i) ++counts[rng.below(kBuckets)];
+  const double expect = static_cast<double>(kN) / kBuckets;
+  for (auto c : counts) EXPECT_NEAR(c, expect, expect * 0.05);
+}
+
+}  // namespace
+}  // namespace rair

@@ -1,0 +1,84 @@
+#include "sim/saturation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rair {
+namespace {
+
+TEST(Saturation, FindsKneeOfAnalyticCurve) {
+  // Synthetic M/M/1-style latency curve saturating at rate 0.4:
+  // apl(r) = L0 / (1 - r/0.4), diverging at the knee.
+  const double L0 = 20.0;
+  auto apl = [&](double r) {
+    if (r >= 0.4) return 1e9;
+    return L0 / (1.0 - r / 0.4);
+  };
+  SaturationOptions opts;
+  const double sat = findSaturationRate(apl, opts);
+  // APL crosses 4x zero-load at r = 0.3 (1/(1-r/0.4) = 4 -> r = 0.3).
+  EXPECT_NEAR(sat, 0.3, 0.02);
+}
+
+TEST(Saturation, NeverSaturatingReturnsMaxRate) {
+  auto apl = [](double) { return 10.0; };
+  SaturationOptions opts;
+  opts.maxRate = 0.8;
+  EXPECT_DOUBLE_EQ(findSaturationRate(apl, opts), 0.8);
+}
+
+TEST(Saturation, KneeFactorShiftsResult) {
+  auto apl = [](double r) { return 10.0 / std::max(1e-9, 1.0 - r); };
+  SaturationOptions loose;
+  loose.kneeFactor = 8.0;
+  SaturationOptions tight;
+  tight.kneeFactor = 2.0;
+  EXPECT_GT(findSaturationRate(apl, loose), findSaturationRate(apl, tight));
+}
+
+TEST(Saturation, EmpiricalHalfMeshSaturation) {
+  // App 0 on the west half of an 8x8 mesh with uniform intra-region
+  // traffic: saturation must land at a plausible mesh throughput —
+  // clearly above 0.1 and below the 1.0 link bound.
+  Mesh m(8, 8);
+  const auto rm = RegionMap::halves(m);
+  AppTrafficSpec app;
+  app.app = 0;
+  SaturationOptions opts;
+  opts.measureCycles = 4'000;
+  opts.warmupCycles = 1'000;
+  opts.drainLimit = 10'000;
+  opts.bisectIters = 4;
+  const double sat = appSaturationRate(m, rm, app, opts);
+  EXPECT_GT(sat, 0.1);
+  EXPECT_LT(sat, 1.0);
+}
+
+TEST(Saturation, InterRegionTrafficSaturatesEarlier) {
+  // Sending everything across the chip adds hops and shared-channel
+  // contention, so saturation drops versus region-local traffic.
+  Mesh m(8, 8);
+  const auto rm = RegionMap::halves(m);
+  SaturationOptions opts;
+  opts.measureCycles = 4'000;
+  opts.warmupCycles = 1'000;
+  opts.drainLimit = 10'000;
+  opts.bisectIters = 4;
+
+  AppTrafficSpec local;
+  local.app = 0;
+  const double satLocal = appSaturationRate(m, rm, local, opts);
+
+  AppTrafficSpec remote;
+  remote.app = 0;
+  remote.intraFraction = 0.0;
+  remote.interFraction = 1.0;
+  remote.interTargetApp = 1;
+  const double satRemote = appSaturationRate(m, rm, remote, opts);
+
+  EXPECT_LT(satRemote, satLocal);
+}
+
+}  // namespace
+}  // namespace rair

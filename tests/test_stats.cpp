@@ -1,0 +1,168 @@
+#include "stats/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace rair {
+namespace {
+
+TEST(LatencyStats, EmptyIsZero) {
+  LatencyStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.approxQuantile(0.5), 0.0);
+}
+
+TEST(LatencyStats, BasicMoments) {
+  LatencyStats s;
+  for (double v : {2.0, 4.0, 6.0, 8.0}) s.record(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  // Sample variance of {2,4,6,8} = 20/3.
+  EXPECT_NEAR(s.variance(), 20.0 / 3.0, 1e-9);
+}
+
+TEST(LatencyStats, HistogramBuckets) {
+  LatencyStats s;
+  s.record(0.5);   // bucket 0
+  s.record(1.0);   // bucket 0  [1,2)
+  s.record(3.0);   // bucket 1  [2,4)
+  s.record(5.0);   // bucket 2  [4,8)
+  s.record(100.0); // bucket 6  [64,128)
+  const auto h = s.histogram();
+  EXPECT_EQ(h[0], 2u);
+  EXPECT_EQ(h[1], 1u);
+  EXPECT_EQ(h[2], 1u);
+  EXPECT_EQ(h[6], 1u);
+}
+
+TEST(LatencyStats, QuantileApproximation) {
+  LatencyStats s;
+  for (int i = 0; i < 90; ++i) s.record(10.0);   // bucket 3: [8,16)
+  for (int i = 0; i < 10; ++i) s.record(100.0);  // bucket 6: [64,128)
+  const double p50 = s.approxQuantile(0.5);
+  EXPECT_GE(p50, 8.0);
+  EXPECT_LE(p50, 16.0);
+  const double p99 = s.approxQuantile(0.99);
+  EXPECT_GE(p99, 64.0);
+  EXPECT_LE(p99, 128.0);
+}
+
+TEST(LatencyStats, Merge) {
+  LatencyStats a, b;
+  a.record(1.0);
+  a.record(3.0);
+  b.record(5.0);
+  b.record(7.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 7.0);
+}
+
+Packet mkPacket(AppId app, Cycle create, Cycle inject, Cycle eject,
+                std::uint16_t flits = 1, std::uint16_t hops = 3) {
+  static PacketId next = 1;
+  Packet p;
+  p.id = next++;
+  p.src = 0;
+  p.dst = 1;
+  p.app = app;
+  p.numFlits = flits;
+  p.createCycle = create;
+  p.injectCycle = inject;
+  p.ejectCycle = eject;
+  p.hops = hops;
+  return p;
+}
+
+TEST(StatsCollector, MeasurementWindowFilters) {
+  StatsCollector sc(2);
+  sc.startMeasurement(100);
+  sc.stopMeasurement(200);
+
+  // Created before window: delivered but not measured.
+  auto warm = mkPacket(0, 50, 55, 120);
+  sc.onPacketCreated(warm);
+  sc.onPacketDelivered(warm);
+  EXPECT_EQ(sc.app(0).totalLatency.count(), 0u);
+
+  // Created inside window: measured.
+  auto meas = mkPacket(0, 150, 152, 190);
+  sc.onPacketCreated(meas);
+  sc.onPacketDelivered(meas);
+  EXPECT_EQ(sc.app(0).totalLatency.count(), 1u);
+  EXPECT_DOUBLE_EQ(sc.appApl(0), 40.0);
+
+  // Created after window (drain): not measured.
+  auto drain = mkPacket(0, 250, 252, 290);
+  sc.onPacketCreated(drain);
+  sc.onPacketDelivered(drain);
+  EXPECT_EQ(sc.app(0).totalLatency.count(), 1u);
+}
+
+TEST(StatsCollector, InFlightTracking) {
+  StatsCollector sc(1);
+  sc.startMeasurement(0);
+  auto p1 = mkPacket(0, 10, 12, 50);
+  auto p2 = mkPacket(0, 20, 22, 60);
+  sc.onPacketCreated(p1);
+  sc.onPacketCreated(p2);
+  EXPECT_EQ(sc.measuredInFlight(), 2u);
+  sc.onPacketDelivered(p1);
+  EXPECT_EQ(sc.measuredInFlight(), 1u);
+  sc.onPacketDelivered(p2);
+  EXPECT_EQ(sc.measuredInFlight(), 0u);
+}
+
+TEST(StatsCollector, PerAppSeparation) {
+  StatsCollector sc(3);
+  sc.startMeasurement(0);
+  auto a = mkPacket(0, 0, 1, 10);   // latency 10
+  auto b = mkPacket(2, 0, 1, 30);   // latency 30
+  sc.onPacketCreated(a);
+  sc.onPacketCreated(b);
+  sc.onPacketDelivered(a);
+  sc.onPacketDelivered(b);
+  EXPECT_DOUBLE_EQ(sc.appApl(0), 10.0);
+  EXPECT_EQ(sc.app(1).totalLatency.count(), 0u);
+  EXPECT_DOUBLE_EQ(sc.appApl(2), 30.0);
+  EXPECT_DOUBLE_EQ(sc.overallApl(), 20.0);
+}
+
+TEST(StatsCollector, OverallAggregation) {
+  StatsCollector sc(2);
+  sc.startMeasurement(0);
+  auto a = mkPacket(0, 0, 2, 12, 5, 4);
+  auto b = mkPacket(1, 0, 3, 23, 1, 2);
+  sc.onPacketCreated(a);
+  sc.onPacketCreated(b);
+  sc.onPacketDelivered(a);
+  sc.onPacketDelivered(b);
+  const auto all = sc.overall();
+  EXPECT_EQ(all.packetsCreated, 2u);
+  EXPECT_EQ(all.packetsDelivered, 2u);
+  EXPECT_EQ(all.flitsDelivered, 6u);
+  EXPECT_DOUBLE_EQ(all.totalLatency.mean(), (12.0 + 23.0) / 2.0);
+  EXPECT_DOUBLE_EQ(all.networkLatency.mean(), (10.0 + 20.0) / 2.0);
+  EXPECT_DOUBLE_EQ(all.hops.mean(), 3.0);
+}
+
+TEST(StatsCollector, NetworkVsTotalLatency) {
+  StatsCollector sc(1);
+  sc.startMeasurement(0);
+  // 10 cycles of source queuing: total 40, network 30.
+  auto p = mkPacket(0, 100, 110, 140);
+  sc.onPacketCreated(p);
+  sc.onPacketDelivered(p);
+  EXPECT_DOUBLE_EQ(sc.app(0).totalLatency.mean(), 40.0);
+  EXPECT_DOUBLE_EQ(sc.app(0).networkLatency.mean(), 30.0);
+}
+
+}  // namespace
+}  // namespace rair
