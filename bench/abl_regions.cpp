@@ -5,86 +5,20 @@
 // For each region count we run the regionalized mixed workload (75% intra
 // / 20% inter / 5% MC) with the first region loaded high and the rest
 // low, and report RAIR's mean APL reduction vs RO_RR.
+//
+// The grid lives in the built-in "abl_regions" campaign (shared with
+// tools/rair_campaign); see fig09_msp.cpp for the bench/campaign split.
 #include "bench_common.h"
+#include "campaign/runner.h"
 
 namespace rair::bench {
 namespace {
 
-const Mesh& mesh() {
-  static Mesh m(8, 8);
-  return m;
-}
-
-const RegionMap& regionsFor(int count) {
-  static RegionMap two = RegionMap::halves(mesh());
-  static RegionMap four = RegionMap::quadrants(mesh());
-  static RegionMap six = RegionMap::sixRegions(mesh());
-  switch (count) {
-    case 2: return two;
-    case 4: return four;
-    default: return six;
-  }
-}
-
-const std::vector<int>& counts() {
-  static std::vector<int> cs = {2, 4, 6};
-  return cs;
-}
-
-std::vector<AppTrafficSpec> workload(int count) {
-  std::vector<AppTrafficSpec> shapes(static_cast<size_t>(count));
-  std::vector<double> fractions(static_cast<size_t>(count),
-                                scenarios::kLowLoadFraction);
-  fractions[1] = scenarios::kHighLoadFraction;
-  for (AppId a = 0; a < count; ++a) {
-    auto& s = shapes[static_cast<size_t>(a)];
-    s.app = a;
-    s.intraFraction = 0.75;
-    s.interFraction = 0.20;
-    s.mcFraction = 0.05;
-  }
-  static std::map<int, std::vector<double>> cache;
-  auto it = cache.find(count);
-  if (it == cache.end()) {
-    it = cache
-             .emplace(count, scenarios::calibrateLoads(
-                                 mesh(), regionsFor(count), shapes,
-                                 fractions, paperSatOptions()))
-             .first;
-  }
-  for (AppId a = 0; a < count; ++a)
-    shapes[static_cast<size_t>(a)].injectionRate =
-        it->second[static_cast<size_t>(a)];
-  return shapes;
-}
-
-const ScenarioResult& cell(int count, bool rairScheme) {
-  const std::string key =
-      std::to_string(count) + (rairScheme ? "/RAIR" : "/RR");
-  return ResultStore::instance().scenario(key, [count, rairScheme] {
-    return runScenario(mesh(), regionsFor(count), paperSimConfig(),
-                       rairScheme ? schemeRaRair() : schemeRoRr(),
-                       workload(count));
-  });
-}
-
-void printTable() {
-  std::printf("\n=== Ablation: region count (mixed 75/20/5 workload, app 1 "
-              "high load, others low) ===\n\n");
-  TextTable t({"regions", "RO_RR mean APL", "RAIR mean APL",
-               "RAIR reduction"});
-  for (int c : counts()) {
-    const auto& rr = cell(c, false);
-    const auto& ra = cell(c, true);
-    const auto row = t.addRow();
-    t.set(row, 0, std::to_string(c));
-    t.setNum(row, 1, rr.meanApl);
-    t.setNum(row, 2, ra.meanApl);
-    t.setPct(row, 3, ra.meanReductionVs(rr));
-  }
-  std::puts(t.toString().c_str());
-  std::printf("RAIR keeps two-flow state per router, so the benefit must "
-              "persist as regions scale (Sec. VI).\n");
+campaign::LazyCampaign& ablRegions() {
+  static campaign::BuildContext ctx = campaign::defaultBuildContext(fastMode());
+  static campaign::LazyCampaign lazy(
+      campaign::buildBuiltinCampaign("abl_regions", ctx));
+  return lazy;
 }
 
 }  // namespace
@@ -92,17 +26,16 @@ void printTable() {
 
 int main(int argc, char** argv) {
   using namespace rair::bench;
-  for (int c : counts()) {
-    for (bool rairScheme : {false, true}) {
-      benchmark::RegisterBenchmark(
-          ("abl_regions/n=" + std::to_string(c) +
-           (rairScheme ? "/RAIR" : "/RO_RR")).c_str(),
-          [c, rairScheme](benchmark::State& st) {
-            for (auto _ : st) setAplCounters(st, cell(c, rairScheme));
-          })
-          ->Unit(benchmark::kMillisecond)
-          ->Iterations(1);
-    }
+  for (const auto& cell : ablRegions().spec().cells) {
+    benchmark::RegisterBenchmark(
+        ("abl_regions/" + cell.key).c_str(),
+        [key = cell.key](benchmark::State& st) {
+          for (auto _ : st) setAplCounters(st, ablRegions().cell(key));
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
   }
-  return runBenchMain(argc, argv, printTable);
+  return runBenchMain(argc, argv, [] {
+    std::fputs(ablRegions().tables().c_str(), stdout);
+  });
 }

@@ -6,6 +6,10 @@
 // APLs as user counters), then prints the corresponding paper-style table
 // after the benchmark run.
 //
+// Benches whose grids exist as built-in campaigns (campaign/builtin.h)
+// drive a campaign::LazyCampaign instead of defining cells locally, so
+// the CLI (tools/rair_campaign) and the bench share one grid definition.
+//
 // Environment knobs:
 //   RAIR_BENCH_FAST=1  shrink windows (2K warmup / 20K measured instead of
 //                      the paper's 10K / 100K) for quick smoke runs.
@@ -16,8 +20,10 @@
 #include <cstdlib>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 
+#include "campaign/builtin.h"
 #include "scenarios/paper_scenarios.h"
 #include "sim/saturation.h"
 #include "sim/scenario.h"
@@ -29,41 +35,23 @@ inline bool fastMode() { return std::getenv("RAIR_BENCH_FAST") != nullptr; }
 
 /// Simulation windows per the paper (Sec. V.A: 10K warmup, 100K measured).
 inline SimConfig paperSimConfig() {
-  SimConfig cfg;
-  if (fastMode()) {
-    cfg.warmupCycles = 2'000;
-    cfg.measureCycles = 20'000;
-  } else {
-    cfg.warmupCycles = 10'000;
-    cfg.measureCycles = 100'000;
-  }
-  cfg.drainLimit = 500'000;
-  return cfg;
+  return campaign::paperSimConfig(fastMode());
 }
 
 /// Shorter windows for saturation calibration (knee finding).
 inline SaturationOptions paperSatOptions() {
-  SaturationOptions o;
-  if (fastMode()) {
-    o.warmupCycles = 1'000;
-    o.measureCycles = 5'000;
-    o.drainLimit = 15'000;
-    o.bisectIters = 4;
-  } else {
-    o.warmupCycles = 2'000;
-    o.measureCycles = 10'000;
-    o.drainLimit = 30'000;
-    o.bisectIters = 6;
-  }
-  return o;
+  return campaign::paperSatOptions(fastMode());
 }
 
 /// Memoizes scenario results so the post-run table printer reuses what the
 /// benchmark cells computed (and calibration values are computed once).
+/// Thread-safe; a miss computes `fn` under the lock, so concurrent misses
+/// serialize (map nodes are stable, so returned references stay valid).
 class ResultStore {
  public:
   const ScenarioResult& scenario(
       const std::string& key, const std::function<ScenarioResult()>& fn) {
+    const std::lock_guard<std::mutex> lock(mu_);
     auto it = scenarios_.find(key);
     if (it == scenarios_.end())
       it = scenarios_.emplace(key, fn()).first;
@@ -71,6 +59,7 @@ class ResultStore {
   }
 
   double value(const std::string& key, const std::function<double()>& fn) {
+    const std::lock_guard<std::mutex> lock(mu_);
     auto it = values_.find(key);
     if (it == values_.end()) it = values_.emplace(key, fn()).first;
     return it->second;
@@ -82,6 +71,7 @@ class ResultStore {
   }
 
  private:
+  std::mutex mu_;
   std::map<std::string, ScenarioResult> scenarios_;
   std::map<std::string, double> values_;
 };
@@ -93,6 +83,16 @@ inline void setAplCounters(benchmark::State& st, const ScenarioResult& r) {
   }
   st.counters["apl_mean"] = r.meanApl;
   st.counters["drained"] = r.run.fullyDrained ? 1 : 0;
+}
+
+/// Same, for a campaign cell record.
+inline void setAplCounters(benchmark::State& st,
+                           const campaign::CellRecord& r) {
+  for (std::size_t a = 0; a < r.appApl.size(); ++a) {
+    st.counters["apl_app" + std::to_string(a)] = r.appApl[a];
+  }
+  st.counters["apl_mean"] = r.meanApl;
+  st.counters["drained"] = r.drained() ? 1 : 0;
 }
 
 /// Boilerplate main: run the registered benchmarks, then the table hook.

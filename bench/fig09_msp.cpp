@@ -6,86 +6,22 @@
 // p in {0, 25, 50, 75, 100}% and compare RO_RR against RAIR with MSP at VA
 // only and at VA+SA. Paper reference: at p = 100%, RAIR_VA+SA cuts App 0's
 // APL by 18.9% with < 3% increase for App 1.
+//
+// The scheme x p grid lives in the built-in "fig09" campaign (shared with
+// tools/rair_campaign): the bench registers one google-benchmark per
+// campaign cell so the framework attributes wall time per cell, while the
+// campaign layer supplies memoized execution and the paper-style table.
 #include "bench_common.h"
+#include "campaign/runner.h"
 
 namespace rair::bench {
 namespace {
 
-const Mesh& mesh() {
-  static Mesh m(8, 8);
-  return m;
-}
-const RegionMap& regions() {
-  static RegionMap rm = RegionMap::halves(mesh());
-  return rm;
-}
-
-/// Saturation of a half-chip app running intra-region uniform traffic —
-/// the reference load for the whole sweep (both halves are congruent).
-double halfSaturation() {
-  return ResultStore::instance().value("halfSat", [] {
-    AppTrafficSpec shape;
-    shape.app = 0;
-    return appSaturationRate(mesh(), regions(), shape, paperSatOptions());
-  });
-}
-
-const std::vector<int>& pSweep() {
-  static std::vector<int> ps = {0, 25, 50, 75, 100};
-  return ps;
-}
-
-std::vector<SchemeSpec> schemes() {
-  return {schemeRoRr(), schemeRairVaOnly(), schemeRaRair()};
-}
-
-const ScenarioResult& cell(const SchemeSpec& scheme, int p) {
-  const std::string key = scheme.label + "/p" + std::to_string(p);
-  return ResultStore::instance().scenario(key, [&, p] {
-    const double sat = halfSaturation();
-    const auto apps = scenarios::twoAppInterRegion(
-        p / 100.0, scenarios::kLowLoadFraction * sat,
-        scenarios::kHighLoadFraction * sat);
-    return runScenario(mesh(), regions(), paperSimConfig(), scheme, apps);
-  });
-}
-
-void benchCell(benchmark::State& st, const SchemeSpec& scheme, int p) {
-  for (auto _ : st) {
-    const auto& r = cell(scheme, p);
-    setAplCounters(st, r);
-  }
-}
-
-void printTable() {
-  std::printf("\n=== Fig. 9: average packet latency vs inter-region "
-              "fraction p (MSP impact) ===\n");
-  std::printf("App 0: 10%% of saturation (sat = %.3f flits/cycle/node); "
-              "App 1: high load (%.0f%% of the knee; see "
-              "scenarios::kHighLoadFraction)\n\n",
-              halfSaturation(), scenarios::kHighLoadFraction * 100);
-  TextTable t({"p", "scheme", "APL App0", "APL App1", "dAPL App0 vs RO_RR",
-               "dAPL App1 vs RO_RR"});
-  for (int p : pSweep()) {
-    const auto& base = cell(schemeRoRr(), p);
-    for (const auto& s : schemes()) {
-      const auto& r = cell(s, p);
-      const auto row = t.addRow();
-      t.set(row, 0, std::to_string(p) + "%");
-      t.set(row, 1, s.label);
-      t.setNum(row, 2, r.appApl[0]);
-      t.setNum(row, 3, r.appApl[1]);
-      t.setPct(row, 4, r.reductionVs(base, 0));
-      t.setPct(row, 5, r.reductionVs(base, 1));
-    }
-  }
-  std::puts(t.toString().c_str());
-  const auto& base100 = cell(schemeRoRr(), 100);
-  const auto& vasa100 = cell(schemeRaRair(), 100);
-  std::printf("Paper reference at p=100%%: RAIR_VA+SA -18.9%% App0, "
-              "< +3%% App1. Measured: %s App0, %s App1.\n",
-              formatPct(-vasa100.reductionVs(base100, 0)).c_str(),
-              formatPct(-vasa100.reductionVs(base100, 1)).c_str());
+campaign::LazyCampaign& fig09() {
+  static campaign::BuildContext ctx = campaign::defaultBuildContext(fastMode());
+  static campaign::LazyCampaign lazy(
+      campaign::buildBuiltinCampaign("fig09", ctx));
+  return lazy;
 }
 
 }  // namespace
@@ -93,14 +29,16 @@ void printTable() {
 
 int main(int argc, char** argv) {
   using namespace rair::bench;
-  for (const auto& s : schemes()) {
-    for (int p : pSweep()) {
-      benchmark::RegisterBenchmark(
-          ("fig09/" + s.label + "/p=" + std::to_string(p)).c_str(),
-          [s, p](benchmark::State& st) { benchCell(st, s, p); })
-          ->Unit(benchmark::kMillisecond)
-          ->Iterations(1);
-    }
+  for (const auto& cell : fig09().spec().cells) {
+    benchmark::RegisterBenchmark(
+        ("fig09/" + cell.key).c_str(),
+        [key = cell.key](benchmark::State& st) {
+          for (auto _ : st) setAplCounters(st, fig09().cell(key));
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
   }
-  return runBenchMain(argc, argv, printTable);
+  return runBenchMain(argc, argv, [] {
+    std::fputs(fig09().tables().c_str(), stdout);
+  });
 }

@@ -1,0 +1,576 @@
+#include "campaign/builtin.h"
+
+#include <array>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "common/assert.h"
+#include "scenarios/paper_scenarios.h"
+#include "stats/report.h"
+#include "traffic/pattern.h"
+
+namespace rair::campaign {
+
+SimConfig paperSimConfig(bool fast) {
+  SimConfig cfg;
+  if (fast) {
+    cfg.warmupCycles = 2'000;
+    cfg.measureCycles = 20'000;
+  } else {
+    cfg.warmupCycles = 10'000;
+    cfg.measureCycles = 100'000;
+  }
+  cfg.drainLimit = 500'000;
+  return cfg;
+}
+
+SaturationOptions paperSatOptions(bool fast) {
+  SaturationOptions o;
+  if (fast) {
+    o.warmupCycles = 1'000;
+    o.measureCycles = 5'000;
+    o.drainLimit = 15'000;
+    o.bisectIters = 4;
+  } else {
+    o.warmupCycles = 2'000;
+    o.measureCycles = 10'000;
+    o.drainLimit = 30'000;
+    o.bisectIters = 6;
+  }
+  return o;
+}
+
+BuildContext defaultBuildContext(bool fast) {
+  BuildContext ctx;
+  ctx.sim = paperSimConfig(fast);
+  ctx.sat = paperSatOptions(fast);
+  auto memo = std::make_shared<std::map<std::string, double>>();
+  ctx.value = [memo](const std::string& key,
+                     const std::function<double()>& fn) {
+    const auto it = memo->find(key);
+    if (it != memo->end()) return it->second;
+    return memo->emplace(key, fn()).first->second;
+  };
+  return ctx;
+}
+
+namespace {
+
+__attribute__((format(printf, 2, 3)))
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+void logTo(const BuildContext& ctx, const std::string& msg) {
+  if (ctx.log) ctx.log(msg);
+}
+
+/// An 8x8 mesh plus region map kept alive by the cell closures.
+struct Fixture {
+  std::shared_ptr<Mesh> mesh;
+  std::shared_ptr<RegionMap> regions;
+};
+
+Fixture makeFixture(int regionCount) {
+  Fixture f;
+  f.mesh = std::make_shared<Mesh>(8, 8);
+  switch (regionCount) {
+    case 2:
+      f.regions = std::make_shared<RegionMap>(RegionMap::halves(*f.mesh));
+      break;
+    case 4:
+      f.regions = std::make_shared<RegionMap>(RegionMap::quadrants(*f.mesh));
+      break;
+    default:
+      RAIR_CHECK(regionCount == 6);
+      f.regions = std::make_shared<RegionMap>(RegionMap::sixRegions(*f.mesh));
+  }
+  return f;
+}
+
+/// Memoizes a calibrated rate vector element-wise through ctx.value so a
+/// file-backed cache can skip the whole computation when every element is
+/// present; the vector is computed at most once.
+std::vector<double> cachedRates(
+    BuildContext& ctx, const std::string& keyPrefix, std::size_t n,
+    const std::function<std::vector<double>()>& compute) {
+  auto memo = std::make_shared<std::vector<double>>();
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = ctx.value(keyPrefix + "/app" + std::to_string(i), [&, i] {
+      if (memo->empty()) *memo = compute();
+      RAIR_CHECK(memo->size() == n);
+      return (*memo)[i];
+    });
+  }
+  return out;
+}
+
+ScenarioResult runCell(const Fixture& fx, const SimConfig& cfg,
+                       const SchemeSpec& scheme,
+                       const std::vector<AppTrafficSpec>& apps,
+                       std::uint64_t seed) {
+  ScenarioOptions opts;
+  opts.seed = seed;
+  return runScenario(*fx.mesh, *fx.regions, cfg, scheme, apps, opts);
+}
+
+// ---- Figs. 9 and 10: two half-chip apps, inter-region fraction sweep ----
+
+const std::vector<int>& pSweep() {
+  static const std::vector<int> ps = {0, 25, 50, 75, 100};
+  return ps;
+}
+
+/// The shared calibration of Figs. 9/10: saturation of a half-chip app
+/// running intra-region uniform traffic (both halves are congruent).
+double halfSaturation(BuildContext& ctx, const Fixture& fx) {
+  return ctx.value("halves/halfSat", [&] {
+    logTo(ctx, "calibrating half-mesh saturation...");
+    AppTrafficSpec shape;
+    shape.app = 0;
+    return appSaturationRate(*fx.mesh, *fx.regions, shape, ctx.sat);
+  });
+}
+
+/// Grid shared by Figs. 9 and 10: schemes x p, cells keyed
+/// "<scheme>/p<p>".
+CampaignSpec twoAppSweepCampaign(const std::string& name, BuildContext& ctx,
+                                 const std::vector<SchemeSpec>& schemes) {
+  const Fixture fx = makeFixture(2);
+  const double sat = halfSaturation(ctx, fx);
+
+  CampaignSpec spec;
+  spec.name = name;
+  spec.campaignSeed = ctx.campaignSeed;
+  const SimConfig cfg = ctx.sim;
+  for (const SchemeSpec& s : schemes) {
+    for (const int p : pSweep()) {
+      CampaignCell cell;
+      cell.key = s.label + "/p" + std::to_string(p);
+      cell.labels = {{"scheme", s.label}, {"p", std::to_string(p)}};
+      cell.run = [fx, cfg, s, p, sat](std::uint64_t seed) {
+        const auto apps = scenarios::twoAppInterRegion(
+            p / 100.0, scenarios::kLowLoadFraction * sat,
+            scenarios::kHighLoadFraction * sat);
+        return runCell(fx, cfg, s, apps, seed);
+      };
+      spec.add(std::move(cell));
+    }
+  }
+  return spec;
+}
+
+CampaignSpec buildFig09(BuildContext& ctx) {
+  const std::vector<SchemeSpec> schemes = {schemeRoRr(), schemeRairVaOnly(),
+                                           schemeRaRair()};
+  CampaignSpec spec = twoAppSweepCampaign("fig09", ctx, schemes);
+  std::vector<std::string> labels;
+  for (const auto& s : schemes) labels.push_back(s.label);
+  const Fixture fx = makeFixture(2);
+  const double sat = halfSaturation(ctx, fx);
+  spec.renderTables = [labels, sat](const CellLookup& cells) {
+    std::string out;
+    appendf(out, "\n=== Fig. 9: average packet latency vs inter-region "
+                 "fraction p (MSP impact) ===\n");
+    appendf(out,
+            "App 0: 10%% of saturation (sat = %.3f flits/cycle/node); "
+            "App 1: high load (%.0f%% of the knee; see "
+            "scenarios::kHighLoadFraction)\n\n",
+            sat, scenarios::kHighLoadFraction * 100);
+    TextTable t({"p", "scheme", "APL App0", "APL App1", "dAPL App0 vs RO_RR",
+                 "dAPL App1 vs RO_RR"});
+    for (const int p : pSweep()) {
+      const CellRecord& base = cells.at("RO_RR/p" + std::to_string(p));
+      for (const std::string& label : labels) {
+        const CellRecord& r = cells.at(label + "/p" + std::to_string(p));
+        const auto row = t.addRow();
+        t.set(row, 0, std::to_string(p) + "%");
+        t.set(row, 1, label);
+        t.setNum(row, 2, r.appApl[0]);
+        t.setNum(row, 3, r.appApl[1]);
+        t.setPct(row, 4, r.reductionVs(base, 0));
+        t.setPct(row, 5, r.reductionVs(base, 1));
+      }
+    }
+    out += t.toString();
+    out += "\n";
+    const CellRecord& base100 = cells.at("RO_RR/p100");
+    const CellRecord& vasa100 = cells.at("RA_RAIR/p100");
+    appendf(out,
+            "Paper reference at p=100%%: RAIR_VA+SA -18.9%% App0, "
+            "< +3%% App1. Measured: %s App0, %s App1.\n",
+            formatPct(-vasa100.reductionVs(base100, 0)).c_str(),
+            formatPct(-vasa100.reductionVs(base100, 1)).c_str());
+    return out;
+  };
+  return spec;
+}
+
+CampaignSpec buildFig10(BuildContext& ctx) {
+  SchemeSpec rrLocal = schemeRoRr();
+  rrLocal.label = "RO_RR_Local";
+  SchemeSpec rairLocal = schemeRaRair();
+  rairLocal.label = "RAIR_Local";
+  const std::vector<SchemeSpec> schemes = {
+      rrLocal, rairLocal, schemeRoRr(RoutingKind::Dbar),
+      schemeRaRair(RoutingKind::Dbar)};
+  CampaignSpec spec = twoAppSweepCampaign("fig10", ctx, schemes);
+  std::vector<std::string> labels;
+  for (const auto& s : schemes) labels.push_back(s.label);
+  spec.renderTables = [labels](const CellLookup& cells) {
+    std::string out;
+    appendf(out, "\n=== Fig. 10: APL vs inter-region fraction p under "
+                 "local-adaptive vs DBAR routing ===\n\n");
+    TextTable t({"p", "scheme", "APL App0", "APL App1",
+                 "dApp0 vs RO_RR_Local", "dApp1 vs RO_RR_Local"});
+    for (const int p : pSweep()) {
+      const CellRecord& base = cells.at(labels[0] + "/p" + std::to_string(p));
+      for (const std::string& label : labels) {
+        const CellRecord& r = cells.at(label + "/p" + std::to_string(p));
+        const auto row = t.addRow();
+        t.set(row, 0, std::to_string(p) + "%");
+        t.set(row, 1, label);
+        t.setNum(row, 2, r.appApl[0]);
+        t.setNum(row, 3, r.appApl[1]);
+        t.setPct(row, 4, r.reductionVs(base, 0));
+        t.setPct(row, 5, r.reductionVs(base, 1));
+      }
+    }
+    out += t.toString();
+    out += "\n";
+    const CellRecord& rrL = cells.at(labels[0] + "/p100");
+    const CellRecord& rrD = cells.at(labels[2] + "/p100");
+    const CellRecord& raD = cells.at(labels[3] + "/p100");
+    appendf(out,
+            "Paper reference at p=100%%: RAIR_DBAR vs RO_RR_Local: -24.8%% "
+            "App0, -3.3%% App1 (measured %s / %s); vs RO_RR_DBAR: -12.8%% "
+            "App0, +1.8%% App1 (measured %s / %s).\n",
+            formatPct(-raD.reductionVs(rrL, 0)).c_str(),
+            formatPct(-raD.reductionVs(rrL, 1)).c_str(),
+            formatPct(-raD.reductionVs(rrD, 0)).c_str(),
+            formatPct(-raD.reductionVs(rrD, 1)).c_str());
+    return out;
+  };
+  return spec;
+}
+
+// ---- Fig. 12: DPA, two contrasting four-app quadrant scenarios ----------
+
+CampaignSpec buildFig12(BuildContext& ctx) {
+  const Fixture fx = makeFixture(4);
+  const std::vector<SchemeSpec> schemes = {
+      schemeRoRr(), schemeRairNativeHigh(), schemeRairForeignHigh(),
+      schemeRaRair()};
+
+  std::map<char, std::vector<double>> rates;
+  for (const char scen : {'a', 'b'}) {
+    rates[scen] = cachedRates(
+        ctx, std::string("fig12/cal_") + scen, 4, [&, scen] {
+          logTo(ctx, std::string("calibrating fig12 scenario ") + scen +
+                         " loads...");
+          const auto shapes = scen == 'a'
+                                  ? scenarios::fourAppLowTowardHigh(0, 0)
+                                  : scenarios::fourAppHighTowardLow(0, 0);
+          const std::array<double, 4> fractions = {
+              scenarios::kLowLoadFraction, scenarios::kLowLoadFraction,
+              scenarios::kLowLoadFraction, scenarios::kHighLoadFraction};
+          return scenarios::calibrateLoads(*fx.mesh, *fx.regions, shapes,
+                                           fractions, ctx.sat);
+        });
+  }
+
+  CampaignSpec spec;
+  spec.name = "fig12";
+  spec.campaignSeed = ctx.campaignSeed;
+  const SimConfig cfg = ctx.sim;
+  for (const SchemeSpec& s : schemes) {
+    for (const char scen : {'a', 'b'}) {
+      CampaignCell cell;
+      cell.key = s.label + "/" + scen;
+      cell.labels = {{"scheme", s.label},
+                     {"scenario", std::string(1, scen)}};
+      const std::vector<double> r = rates[scen];
+      cell.run = [fx, cfg, s, scen, r](std::uint64_t seed) {
+        auto shapes = scen == 'a' ? scenarios::fourAppLowTowardHigh(0, 0)
+                                  : scenarios::fourAppHighTowardLow(0, 0);
+        for (std::size_t a = 0; a < 4; ++a) shapes[a].injectionRate = r[a];
+        return runCell(fx, cfg, s, shapes, seed);
+      };
+      spec.add(std::move(cell));
+    }
+  }
+
+  std::vector<std::string> labels;
+  for (const auto& s : schemes)
+    if (s.policy != PolicyKind::RoundRobin) labels.push_back(s.label);
+  spec.renderTables = [labels](const CellLookup& cells) {
+    std::string out;
+    for (const char scen : {'a', 'b'}) {
+      appendf(out, "\n=== Fig. 12(%c): APL reduction vs RO_RR ===\n\n", scen);
+      const CellRecord& base = cells.at(std::string("RO_RR/") + scen);
+      TextTable t({"scheme", "App0", "App1", "App2", "App3", "mean"});
+      for (const std::string& label : labels) {
+        const CellRecord& r = cells.at(label + "/" + scen);
+        const auto row = t.addRow();
+        t.set(row, 0, label);
+        double sum = 0;
+        for (std::size_t a = 0; a < 4; ++a) {
+          const double red = r.reductionVs(base, a);
+          t.setPct(row, 1 + a, red);
+          sum += red;
+        }
+        t.setPct(row, 5, sum / 4.0);
+      }
+      out += t.toString();
+      out += "\n";
+    }
+    appendf(out, "Paper reference: RAIR_ForeignH wins (a), RAIR_NativeH "
+                 "wins (b); RAIR (DPA) reduces mean APL by ~12.8%% in (a) "
+                 "and ~12.2%% in (b), matching the better static choice in "
+                 "both.\n");
+    return out;
+  };
+  return spec;
+}
+
+// ---- Figs. 14/15: six-application generic RNoC ---------------------------
+
+std::vector<double> sixAppRates(BuildContext& ctx, const Fixture& fx,
+                                PatternKind pattern) {
+  const std::string pname = patternName(pattern);
+  return cachedRates(ctx, "sixapp/cal_" + pname, 6, [&] {
+    logTo(ctx, "calibrating six-app loads under " + pname + " global "
+               "traffic...");
+    const std::vector<double> dummy(6, 0.0);
+    const auto shapes = scenarios::sixAppMixed(pattern, dummy);
+    return scenarios::calibrateLoads(*fx.mesh, *fx.regions, shapes,
+                                     scenarios::sixAppLoadFractions(),
+                                     ctx.sat);
+  });
+}
+
+const std::vector<SchemeSpec>& sixAppSchemes() {
+  static const std::vector<SchemeSpec> schemes = {
+      schemeRoRr(), schemeRaDbar(), schemeRoRank(), schemeRaRair()};
+  return schemes;
+}
+
+void addSixAppCells(CampaignSpec& spec, const Fixture& fx,
+                    const SimConfig& cfg, PatternKind pattern,
+                    const std::vector<double>& rates, bool keyByPattern) {
+  for (const SchemeSpec& s : sixAppSchemes()) {
+    CampaignCell cell;
+    const std::string pname = patternName(pattern);
+    cell.key = keyByPattern ? s.label + "/" + pname : s.label;
+    cell.labels = {{"scheme", s.label}};
+    if (keyByPattern) cell.labels.emplace_back("pattern", pname);
+    cell.run = [fx, cfg, s, pattern, rates](std::uint64_t seed) {
+      const auto apps = scenarios::sixAppMixed(pattern, rates);
+      return runCell(fx, cfg, s, apps, seed);
+    };
+    spec.add(std::move(cell));
+  }
+}
+
+CampaignSpec buildFig14(BuildContext& ctx) {
+  const Fixture fx = makeFixture(6);
+  const auto rates = sixAppRates(ctx, fx, PatternKind::UniformRandom);
+
+  CampaignSpec spec;
+  spec.name = "fig14";
+  spec.campaignSeed = ctx.campaignSeed;
+  addSixAppCells(spec, fx, ctx.sim, PatternKind::UniformRandom, rates,
+                 /*keyByPattern=*/false);
+
+  std::vector<std::string> labels;
+  for (const auto& s : sixAppSchemes())
+    if (s.label != "RO_RR") labels.push_back(s.label);
+  spec.renderTables = [labels, rates](const CellLookup& cells) {
+    std::string out;
+    appendf(out, "\n=== Fig. 14: APL reduction vs RO_RR, six-app scenario, "
+                 "uniform-random global traffic ===\n");
+    out += "resolved loads (flits/cycle/node):";
+    for (const double r : rates) appendf(out, " %.3f", r);
+    out += "\n\n";
+    const CellRecord& base = cells.at("RO_RR");
+    TextTable t({"scheme", "App0", "App1", "App2", "App3", "App4", "App5",
+                 "mean"});
+    for (const std::string& label : labels) {
+      const CellRecord& r = cells.at(label);
+      const auto row = t.addRow();
+      t.set(row, 0, label);
+      for (std::size_t a = 0; a < 6; ++a)
+        t.setPct(row, 1 + a, r.reductionVs(base, a));
+      t.setPct(row, 7, r.meanReductionVs(base));
+    }
+    out += t.toString();
+    out += "\n";
+    appendf(out, "Paper reference (mean): RA_DBAR +3.4%%, RO_Rank +5.8%%, "
+                 "RA_RAIR +10.1%% (reductions).\n");
+    return out;
+  };
+  return spec;
+}
+
+CampaignSpec buildFig15(BuildContext& ctx) {
+  const Fixture fx = makeFixture(6);
+  const std::vector<PatternKind> patterns = {
+      PatternKind::UniformRandom, PatternKind::Transpose,
+      PatternKind::BitComplement, PatternKind::Hotspot};
+
+  CampaignSpec spec;
+  spec.name = "fig15";
+  spec.campaignSeed = ctx.campaignSeed;
+  // Loads are calibrated per pattern: the global component's shape moves
+  // each app's knee (see bench/fig15_patterns.cpp rationale).
+  for (const PatternKind pat : patterns)
+    addSixAppCells(spec, fx, ctx.sim, pat, sixAppRates(ctx, fx, pat),
+                   /*keyByPattern=*/true);
+
+  std::vector<std::string> labels;
+  for (const auto& s : sixAppSchemes())
+    if (s.label != "RO_RR") labels.push_back(s.label);
+  spec.renderTables = [labels, patterns](const CellLookup& cells) {
+    std::string out;
+    appendf(out, "\n=== Fig. 15: mean APL reduction vs RO_RR per global "
+                 "traffic pattern ===\n\n");
+    TextTable t({"scheme", "UR", "TP", "BC", "HS", "avg"});
+    for (const std::string& label : labels) {
+      const auto row = t.addRow();
+      t.set(row, 0, label);
+      double sum = 0;
+      for (std::size_t i = 0; i < patterns.size(); ++i) {
+        const std::string pname = patternName(patterns[i]);
+        const CellRecord& base = cells.at("RO_RR/" + pname);
+        const double red =
+            cells.at(label + "/" + pname).meanReductionVs(base);
+        t.setPct(row, 1 + i, red);
+        sum += red;
+      }
+      t.setPct(row, 5, sum / static_cast<double>(patterns.size()));
+    }
+    out += t.toString();
+    out += "\n";
+    appendf(out, "Paper reference: RA_RAIR averages ~13.4%% reduction "
+                 "across patterns and is the best scheme under every "
+                 "pattern.\n");
+    return out;
+  };
+  return spec;
+}
+
+// ---- Ablation: region-count scaling --------------------------------------
+
+CampaignSpec buildAblRegions(BuildContext& ctx) {
+  const std::vector<int> counts = {2, 4, 6};
+
+  CampaignSpec spec;
+  spec.name = "abl_regions";
+  spec.campaignSeed = ctx.campaignSeed;
+  const SimConfig cfg = ctx.sim;
+  for (const int count : counts) {
+    const Fixture fx = makeFixture(count);
+    const std::size_t n = static_cast<std::size_t>(count);
+    const auto rates = cachedRates(
+        ctx, "abl_regions/cal" + std::to_string(count), n, [&] {
+          logTo(ctx, "calibrating " + std::to_string(count) +
+                         "-region mixed workload loads...");
+          std::vector<AppTrafficSpec> shapes(n);
+          std::vector<double> fractions(n, scenarios::kLowLoadFraction);
+          fractions[1] = scenarios::kHighLoadFraction;
+          for (AppId a = 0; a < count; ++a) {
+            auto& s = shapes[static_cast<std::size_t>(a)];
+            s.app = a;
+            s.intraFraction = 0.75;
+            s.interFraction = 0.20;
+            s.mcFraction = 0.05;
+          }
+          return scenarios::calibrateLoads(*fx.mesh, *fx.regions, shapes,
+                                           fractions, ctx.sat);
+        });
+    for (const bool rairScheme : {false, true}) {
+      CampaignCell cell;
+      cell.key = std::to_string(count) + (rairScheme ? "/RAIR" : "/RR");
+      cell.labels = {{"regions", std::to_string(count)},
+                     {"scheme", rairScheme ? "RA_RAIR" : "RO_RR"}};
+      cell.run = [fx, cfg, count, rairScheme, rates](std::uint64_t seed) {
+        std::vector<AppTrafficSpec> shapes(
+            static_cast<std::size_t>(count));
+        for (AppId a = 0; a < count; ++a) {
+          auto& s = shapes[static_cast<std::size_t>(a)];
+          s.app = a;
+          s.intraFraction = 0.75;
+          s.interFraction = 0.20;
+          s.mcFraction = 0.05;
+          s.injectionRate = rates[static_cast<std::size_t>(a)];
+        }
+        return runCell(fx, cfg, rairScheme ? schemeRaRair() : schemeRoRr(),
+                       shapes, seed);
+      };
+      spec.add(std::move(cell));
+    }
+  }
+
+  spec.renderTables = [counts](const CellLookup& cells) {
+    std::string out;
+    appendf(out, "\n=== Ablation: region count (mixed 75/20/5 workload, "
+                 "app 1 high load, others low) ===\n\n");
+    TextTable t({"regions", "RO_RR mean APL", "RAIR mean APL",
+                 "RAIR reduction"});
+    for (const int c : counts) {
+      const CellRecord& rr = cells.at(std::to_string(c) + "/RR");
+      const CellRecord& ra = cells.at(std::to_string(c) + "/RAIR");
+      const auto row = t.addRow();
+      t.set(row, 0, std::to_string(c));
+      t.setNum(row, 1, rr.meanApl);
+      t.setNum(row, 2, ra.meanApl);
+      t.setPct(row, 3, ra.meanReductionVs(rr));
+    }
+    out += t.toString();
+    out += "\n";
+    appendf(out, "RAIR keeps two-flow state per router, so the benefit "
+                 "must persist as regions scale (Sec. VI).\n");
+    return out;
+  };
+  return spec;
+}
+
+using Builder = CampaignSpec (*)(BuildContext&);
+
+const std::map<std::string, Builder>& builders() {
+  static const std::map<std::string, Builder> map = {
+      {"fig09", &buildFig09},   {"fig10", &buildFig10},
+      {"fig12", &buildFig12},   {"fig14", &buildFig14},
+      {"fig15", &buildFig15},   {"abl_regions", &buildAblRegions},
+  };
+  return map;
+}
+
+}  // namespace
+
+std::vector<std::string> builtinCampaignNames() {
+  std::vector<std::string> names;
+  for (const auto& [name, fn] : builders()) names.push_back(name);
+  return names;
+}
+
+bool isBuiltinCampaign(const std::string& name) {
+  return builders().count(name) > 0;
+}
+
+CampaignSpec buildBuiltinCampaign(const std::string& name,
+                                  BuildContext& ctx) {
+  const auto it = builders().find(name);
+  RAIR_CHECK_MSG(it != builders().end(), "unknown built-in campaign");
+  return it->second(ctx);
+}
+
+}  // namespace rair::campaign

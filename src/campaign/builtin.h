@@ -1,0 +1,53 @@
+// Built-in campaigns: one per reproduced paper figure / ablation, built
+// from the exact workloads in scenarios/paper_scenarios.h. These are the
+// single source of truth for the scheme x load grids — both the
+// tools/rair_campaign CLI and the bench binaries build their grids here.
+//
+// Building a campaign resolves the paper's "x% of saturation" loads via
+// empirical calibration (sim/saturation.h), which is the expensive
+// pre-pass; the BuildContext routes those scalars through a memo hook so
+// a results-file-backed context (the CLI) pays for calibration only once
+// across invocations.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "sim/saturation.h"
+
+namespace rair::campaign {
+
+/// The paper's measurement windows (Sec. V.A: 10K warmup / 100K
+/// measured), shrunk 5x in fast mode for smoke runs.
+SimConfig paperSimConfig(bool fast);
+
+/// Shorter windows for saturation calibration (knee finding).
+SaturationOptions paperSatOptions(bool fast);
+
+/// Everything a campaign builder needs.
+struct BuildContext {
+  SimConfig sim;          ///< measurement windows for the cells
+  SaturationOptions sat;  ///< calibration windows
+  std::uint64_t campaignSeed = 1;
+  /// Memoization hook for expensive calibration scalars: returns the
+  /// cached value for `key` or computes, caches and returns `fn()`.
+  std::function<double(const std::string&,
+                       const std::function<double()>&)> value;
+  /// Progress reporting during calibration; may be null.
+  std::function<void(const std::string&)> log;
+};
+
+/// A context with an in-memory value cache and the paper windows.
+BuildContext defaultBuildContext(bool fast);
+
+/// Names of all built-in campaigns ("fig09", "fig10", ...).
+std::vector<std::string> builtinCampaignNames();
+bool isBuiltinCampaign(const std::string& name);
+
+/// Builds the named campaign (RAIR_CHECKs on unknown names). Calibration
+/// runs eagerly through ctx.value; cell simulations stay lazy.
+CampaignSpec buildBuiltinCampaign(const std::string& name, BuildContext& ctx);
+
+}  // namespace rair::campaign

@@ -1,0 +1,144 @@
+#include "campaign/campaign.h"
+
+#include <cstdlib>
+#include <type_traits>
+
+#include "campaign/json.h"
+#include "common/assert.h"
+
+namespace rair::campaign {
+
+std::uint64_t cellSeed(std::uint64_t campaignSeed, std::size_t index) {
+  // SplitMix64 finalizer over the combined words; the golden-ratio stride
+  // separates consecutive indices before mixing.
+  std::uint64_t z = campaignSeed +
+                    0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+const std::string* CellRecord::label(std::string_view name) const {
+  for (const auto& [k, v] : labels)
+    if (k == name) return &v;
+  return nullptr;
+}
+
+double CellRecord::reductionVs(const CellRecord& base, std::size_t app) const {
+  RAIR_CHECK(app < appApl.size() && app < base.appApl.size());
+  return 1.0 - appApl[app] / base.appApl[app];
+}
+
+double CellRecord::meanReductionVs(const CellRecord& base) const {
+  return 1.0 - meanApl / base.meanApl;
+}
+
+std::string CellRecord::toJsonLine(bool includeVolatile) const {
+  JsonValue::Object labelsObj;
+  for (const auto& [k, v] : labels) labelsObj.emplace_back(k, JsonValue(v));
+  JsonValue::Array apl;
+  for (const double a : appApl) apl.emplace_back(a);
+
+  JsonValue rec{JsonValue::Object{}};
+  rec.set("type", "cell");
+  rec.set("campaign", campaign);
+  rec.set("key", key);
+  rec.set("labels", JsonValue(std::move(labelsObj)));
+  // Seeds use the full 64-bit range; serialized as a decimal string so
+  // they survive the double-typed JSON number representation.
+  rec.set("seed", std::to_string(seed));
+  rec.set("termination", terminationName(termination));
+  rec.set("cycles", JsonValue(cyclesRun));
+  rec.set("packets_created", JsonValue(packetsCreated));
+  rec.set("packets_delivered", JsonValue(packetsDelivered));
+  rec.set("delivered_flit_rate", JsonValue(deliveredFlitRate));
+  rec.set("app_apl", JsonValue(std::move(apl)));
+  rec.set("mean_apl", JsonValue(meanApl));
+  if (includeVolatile) rec.set("wall_ms", JsonValue(wallMs));
+  return rec.dump();
+}
+
+std::optional<CellRecord> CellRecord::fromJson(const JsonValue& v) {
+  const JsonValue* type = v.find("type");
+  if (!type || !type->isString() || type->asString() != "cell")
+    return std::nullopt;
+  const JsonValue* key = v.find("key");
+  const JsonValue* term = v.find("termination");
+  if (!key || !key->isString() || !term || !term->isString())
+    return std::nullopt;
+  const auto termination = terminationFromName(term->asString());
+  if (!termination) return std::nullopt;
+
+  CellRecord r;
+  r.key = key->asString();
+  r.termination = *termination;
+  if (const JsonValue* c = v.find("campaign"); c && c->isString())
+    r.campaign = c->asString();
+  if (const JsonValue* l = v.find("labels"); l && l->isObject())
+    for (const auto& [k, lv] : l->asObject())
+      if (lv.isString()) r.labels.emplace_back(k, lv.asString());
+  if (const JsonValue* s = v.find("seed"); s && s->isString())
+    r.seed = std::strtoull(s->asString().c_str(), nullptr, 10);
+  auto num = [&](const char* name, auto& out) {
+    if (const JsonValue* n = v.find(name); n && n->isNumber())
+      out = static_cast<std::remove_reference_t<decltype(out)>>(n->asNumber());
+  };
+  num("cycles", r.cyclesRun);
+  num("packets_created", r.packetsCreated);
+  num("packets_delivered", r.packetsDelivered);
+  num("delivered_flit_rate", r.deliveredFlitRate);
+  num("mean_apl", r.meanApl);
+  num("wall_ms", r.wallMs);
+  if (const JsonValue* a = v.find("app_apl"); a && a->isArray())
+    for (const JsonValue& e : a->asArray())
+      if (e.isNumber()) r.appApl.push_back(e.asNumber());
+  return r;
+}
+
+std::optional<CellRecord> CellRecord::fromJsonLine(std::string_view line) {
+  const auto v = JsonValue::parse(line);
+  if (!v) return std::nullopt;
+  return fromJson(*v);
+}
+
+void CellLookup::insert(const CellRecord& record) {
+  byKey_[record.key] = &record;
+}
+
+const CellRecord* CellLookup::find(const std::string& key) const {
+  const auto it = byKey_.find(key);
+  return it == byKey_.end() ? nullptr : it->second;
+}
+
+const CellRecord& CellLookup::at(const std::string& key) const {
+  const CellRecord* r = find(key);
+  RAIR_CHECK_MSG(r != nullptr, "campaign cell record missing");
+  return *r;
+}
+
+void CampaignSpec::add(CampaignCell cell) {
+  for (const auto& existing : cells)
+    RAIR_CHECK_MSG(existing.key != cell.key, "duplicate campaign cell key");
+  cells.push_back(std::move(cell));
+}
+
+CellRecord makeCellRecord(const CampaignSpec& spec, const CampaignCell& cell,
+                          std::uint64_t seed, const ScenarioResult& result,
+                          double wallMs) {
+  CellRecord r;
+  r.campaign = spec.name;
+  r.key = cell.key;
+  r.labels = cell.labels;
+  r.seed = seed;
+  r.termination = result.run.termination;
+  r.cyclesRun = result.run.cyclesRun;
+  r.packetsCreated = result.run.packetsCreated;
+  r.packetsDelivered = result.run.packetsDelivered;
+  r.deliveredFlitRate = result.run.deliveredFlitRate;
+  r.appApl = result.appApl;
+  r.meanApl = result.meanApl;
+  r.wallMs = wallMs;
+  return r;
+}
+
+}  // namespace rair::campaign

@@ -1,0 +1,342 @@
+#include "campaign/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/assert.h"
+
+namespace rair::campaign {
+
+bool JsonValue::asBool() const {
+  RAIR_CHECK_MSG(kind_ == Kind::Bool, "JSON value is not a bool");
+  return bool_;
+}
+
+double JsonValue::asNumber() const {
+  RAIR_CHECK_MSG(kind_ == Kind::Number, "JSON value is not a number");
+  return num_;
+}
+
+const std::string& JsonValue::asString() const {
+  RAIR_CHECK_MSG(kind_ == Kind::String, "JSON value is not a string");
+  return str_;
+}
+
+const JsonValue::Array& JsonValue::asArray() const {
+  RAIR_CHECK_MSG(kind_ == Kind::Array, "JSON value is not an array");
+  return arr_;
+}
+
+const JsonValue::Object& JsonValue::asObject() const {
+  RAIR_CHECK_MSG(kind_ == Kind::Object, "JSON value is not an object");
+  return obj_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+void JsonValue::set(std::string key, JsonValue value) {
+  RAIR_CHECK_MSG(kind_ == Kind::Object, "JSON value is not an object");
+  obj_.emplace_back(std::move(key), std::move(value));
+}
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string formatJsonDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string JsonValue::dump() const {
+  switch (kind_) {
+    case Kind::Null:
+      return "null";
+    case Kind::Bool:
+      return bool_ ? "true" : "false";
+    case Kind::Number:
+      if (!std::isfinite(num_)) return "null";
+      return formatJsonDouble(num_);
+    case Kind::String:
+      return '"' + jsonEscape(str_) + '"';
+    case Kind::Array: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        out += arr_[i].dump();
+      }
+      return out + ']';
+    }
+    case Kind::Object: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out += ',';
+        out += '"' + jsonEscape(obj_[i].first) + "\":" + obj_[i].second.dump();
+      }
+      return out + '}';
+    }
+  }
+  return "null";
+}
+
+namespace {
+
+/// Recursive-descent parser. Fails by returning false; the cursor then
+/// holds an unspecified position.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool parseDocument(JsonValue& out) {
+    if (!parseValue(out)) return false;
+    skipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool eat(char c) {
+    skipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parseValue(JsonValue& out) {
+    skipWs();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return parseObject(out);
+      case '[': return parseArray(out);
+      case '"': {
+        std::string s;
+        if (!parseString(s)) return false;
+        out = JsonValue(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!literal("true")) return false;
+        out = JsonValue(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        out = JsonValue(false);
+        return true;
+      case 'n':
+        if (!literal("null")) return false;
+        out = JsonValue();
+        return true;
+      default:
+        return parseNumber(out);
+    }
+  }
+
+  bool parseObject(JsonValue& out) {
+    if (!eat('{')) return false;
+    JsonValue::Object obj;
+    skipWs();
+    if (eat('}')) {
+      out = JsonValue(std::move(obj));
+      return true;
+    }
+    for (;;) {
+      std::string key;
+      skipWs();
+      if (!parseString(key)) return false;
+      if (!eat(':')) return false;
+      JsonValue v;
+      if (!parseValue(v)) return false;
+      obj.emplace_back(std::move(key), std::move(v));
+      if (eat(',')) continue;
+      if (eat('}')) break;
+      return false;
+    }
+    out = JsonValue(std::move(obj));
+    return true;
+  }
+
+  bool parseArray(JsonValue& out) {
+    if (!eat('[')) return false;
+    JsonValue::Array arr;
+    skipWs();
+    if (eat(']')) {
+      out = JsonValue(std::move(arr));
+      return true;
+    }
+    for (;;) {
+      JsonValue v;
+      if (!parseValue(v)) return false;
+      arr.push_back(std::move(v));
+      if (eat(',')) continue;
+      if (eat(']')) break;
+      return false;
+    }
+    out = JsonValue(std::move(arr));
+    return true;
+  }
+
+  bool parseString(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parseHex4(cp)) return false;
+          // Surrogate pair.
+          if (cp >= 0xD800 && cp <= 0xDBFF && pos_ + 1 < text_.size() &&
+              text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+            pos_ += 2;
+            unsigned lo = 0;
+            if (!parseHex4(lo)) return false;
+            if (lo >= 0xDC00 && lo <= 0xDFFF)
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          }
+          appendUtf8(out, cp);
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated string
+  }
+
+  bool parseHex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') out |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') out |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') out |= static_cast<unsigned>(c - 'A' + 10);
+      else return false;
+    }
+    return true;
+  }
+
+  static void appendUtf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parseNumber(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    bool any = false;
+    auto digits = [&] {
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        any = true;
+      }
+    };
+    digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      digits();
+    }
+    if (any && pos_ < text_.size() &&
+        (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+        ++pos_;
+      digits();
+    }
+    if (!any) return false;
+    const std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) return false;
+    out = JsonValue(v);
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text) {
+  Parser p(text);
+  JsonValue v;
+  if (!p.parseDocument(v)) return std::nullopt;
+  return v;
+}
+
+}  // namespace rair::campaign

@@ -1,0 +1,65 @@
+#include "campaign/store.h"
+
+#include <fstream>
+
+#include "campaign/json.h"
+#include "common/assert.h"
+
+namespace rair::campaign {
+
+CampaignFileData loadCampaignFile(const std::string& path) {
+  CampaignFileData data;
+  if (path.empty()) return data;
+  std::ifstream in(path);
+  if (!in) return data;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto v = JsonValue::parse(line);
+    if (!v) continue;  // truncated/corrupt line: treat as absent
+    const JsonValue* type = v->find("type");
+    if (!type || !type->isString()) continue;
+    if (type->asString() == "cell") {
+      if (auto rec = CellRecord::fromJson(*v)) {
+        rec->fromCache = true;
+        data.cells[rec->key] = std::move(*rec);
+      }
+    } else if (type->asString() == "value") {
+      const JsonValue* key = v->find("key");
+      const JsonValue* value = v->find("value");
+      if (key && key->isString() && value && value->isNumber())
+        data.values[key->asString()] = value->asNumber();
+    }
+  }
+  return data;
+}
+
+std::string valueJsonLine(const std::string& campaign, const std::string& key,
+                          double value) {
+  JsonValue rec{JsonValue::Object{}};
+  rec.set("type", "value");
+  rec.set("campaign", campaign);
+  rec.set("key", key);
+  rec.set("value", JsonValue(value));
+  return rec.dump();
+}
+
+JsonlWriter::JsonlWriter(const std::string& path) {
+  if (path.empty()) return;
+  file_ = std::fopen(path.c_str(), "a");
+  RAIR_CHECK_MSG(file_ != nullptr, "cannot open campaign results file");
+}
+
+JsonlWriter::~JsonlWriter() {
+  if (file_) std::fclose(file_);
+}
+
+void JsonlWriter::writeLine(const std::string& line) {
+  if (!file_) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::string out = line + "\n";
+  std::fwrite(out.data(), 1, out.size(), file_);
+  std::fflush(file_);
+}
+
+}  // namespace rair::campaign

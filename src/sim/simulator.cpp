@@ -7,6 +7,22 @@
 
 namespace rair {
 
+const char* terminationName(Termination t) {
+  switch (t) {
+    case Termination::Drained: return "drained";
+    case Termination::DrainLimit: return "drain_limit";
+    case Termination::ProgressTimeout: return "progress_timeout";
+  }
+  return "unknown";
+}
+
+std::optional<Termination> terminationFromName(std::string_view name) {
+  if (name == "drained") return Termination::Drained;
+  if (name == "drain_limit") return Termination::DrainLimit;
+  if (name == "progress_timeout") return Termination::ProgressTimeout;
+  return std::nullopt;
+}
+
 Simulator::Simulator(const Mesh& mesh, const RegionMap& regions,
                      SimConfig config, const ArbiterPolicy& policy,
                      int numApps)
@@ -81,6 +97,7 @@ RunResult Simulator::run() {
   Cycle lastProgress = 0;
   std::uint64_t lastDelivered = 0;
   bool drained = false;
+  bool stalled = false;
 
   for (now_ = 0; now_ < hardStop; ++now_) {
     while (!deferred_.empty() && deferred_.top().when <= now_) {
@@ -96,12 +113,16 @@ RunResult Simulator::run() {
       lastProgress = now_;
       lastDelivered = delivered_;
     } else if (now_ - lastProgress > config_.progressTimeout) {
+      // Deadlock/livelock tripwire. Reported as a structured outcome so a
+      // batch driver (e.g. the campaign runner) can record the failure and
+      // keep going instead of losing the whole process.
       std::fprintf(stderr,
                    "simulator: no forward progress for %" PRIu64
                    " cycles at cycle %" PRIu64 " with %zu packets in flight\n",
                    static_cast<std::uint64_t>(config_.progressTimeout),
                    static_cast<std::uint64_t>(now_), ledger_.size());
-      RAIR_CHECK_MSG(false, "network deadlock or livelock detected");
+      stalled = true;
+      break;
     }
 
     if (now_ + 1 >= measureEnd && stats_.measuredInFlight() == 0) {
@@ -115,6 +136,9 @@ RunResult Simulator::run() {
   r.stats = std::move(stats_);
   r.cyclesRun = now_;
   r.fullyDrained = drained;
+  r.termination = drained ? Termination::Drained
+                          : (stalled ? Termination::ProgressTimeout
+                                     : Termination::DrainLimit);
   r.packetsCreated = created_;
   r.packetsDelivered = delivered_;
   r.deliveredFlitRate =

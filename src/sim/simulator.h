@@ -6,7 +6,9 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <queue>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -29,10 +31,28 @@ struct SimConfig {
   Cycle progressTimeout = 50'000;
 };
 
+/// How a run ended. Callers that must distinguish a clean drain from a
+/// tripwire stop (e.g. the campaign engine's structured records) read this
+/// instead of inferring from `fullyDrained` + `cyclesRun`.
+enum class Termination : std::uint8_t {
+  Drained,          ///< every measured packet delivered before the limit
+  DrainLimit,       ///< drain-limit hard stop with measured packets in flight
+  ProgressTimeout,  ///< deadlock/livelock tripwire: no flit moved and
+                    ///< nothing was delivered for `progressTimeout` cycles
+};
+
+/// Stable lowercase name ("drained" / "drain_limit" / "progress_timeout"),
+/// used in campaign JSON records.
+const char* terminationName(Termination t);
+
+/// Inverse of terminationName; nullopt for unknown names.
+std::optional<Termination> terminationFromName(std::string_view name);
+
 struct RunResult {
   StatsCollector stats{1};
   Cycle cyclesRun = 0;
   bool fullyDrained = false;
+  Termination termination = Termination::DrainLimit;
   std::uint64_t packetsCreated = 0;
   std::uint64_t packetsDelivered = 0;
 

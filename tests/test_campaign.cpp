@@ -1,0 +1,302 @@
+#include "campaign/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/store.h"
+#include "sim/scheme.h"
+
+namespace rair::campaign {
+namespace {
+
+// A tiny but real campaign: 2 schemes x 2 load points on a 4x4 halves
+// mesh with sub-second windows. Cells are pure functions of the seed, as
+// the runner requires.
+CampaignSpec smallSpec() {
+  auto mesh = std::make_shared<Mesh>(4, 4);
+  auto regions = std::make_shared<RegionMap>(RegionMap::halves(*mesh));
+  SimConfig cfg;
+  cfg.warmupCycles = 200;
+  cfg.measureCycles = 1'000;
+  cfg.drainLimit = 20'000;
+
+  CampaignSpec spec;
+  spec.name = "unit";
+  spec.campaignSeed = 7;
+  for (const SchemeSpec& scheme : {schemeRoRr(), schemeRaRair()}) {
+    for (const char* load : {"low", "mid"}) {
+      const double rate = load[0] == 'l' ? 0.05 : 0.15;
+      CampaignCell cell;
+      cell.key = scheme.label + "/" + load;
+      cell.labels = {{"scheme", scheme.label}, {"load", load}};
+      cell.run = [mesh, regions, cfg, scheme, rate](std::uint64_t seed) {
+        std::vector<AppTrafficSpec> apps(2);
+        apps[0].app = 0;
+        apps[0].injectionRate = rate;
+        apps[1].app = 1;
+        apps[1].injectionRate = rate;
+        ScenarioOptions opts;
+        opts.seed = seed;
+        return runScenario(*mesh, *regions, cfg, scheme, apps, opts);
+      };
+      spec.add(std::move(cell));
+    }
+  }
+  return spec;
+}
+
+std::vector<std::string> canonicalLines(const std::vector<CellRecord>& recs) {
+  std::vector<std::string> lines;
+  lines.reserve(recs.size());
+  for (const auto& r : recs) lines.push_back(r.toJsonLine(/*includeVolatile=*/false));
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+std::string freshTempFile(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(CellSeed, DeterministicAndDistinct) {
+  EXPECT_EQ(cellSeed(1, 0), cellSeed(1, 0));
+  EXPECT_NE(cellSeed(1, 0), cellSeed(1, 1));
+  EXPECT_NE(cellSeed(1, 0), cellSeed(2, 0));
+  // The SplitMix64 finalizer never yields the all-zero state xoshiro
+  // cannot escape from.
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_NE(cellSeed(0, i), 0u);
+}
+
+TEST(CellRecord, JsonRoundTrip) {
+  CellRecord rec;
+  rec.campaign = "unit";
+  rec.key = "RA_RAIR/mid";
+  rec.labels = {{"scheme", "RA_RAIR"}, {"load", "mid"}};
+  rec.seed = 0xDEADBEEFDEADBEEFull;  // must survive despite double JSON numbers
+  rec.termination = Termination::ProgressTimeout;
+  rec.cyclesRun = 12'345;
+  rec.packetsCreated = 678;
+  rec.packetsDelivered = 599;
+  rec.deliveredFlitRate = 0.0625;
+  rec.appApl = {23.125, 31.5};
+  rec.meanApl = 27.75;
+  rec.wallMs = 41.5;
+
+  const auto parsed = CellRecord::fromJsonLine(rec.toJsonLine());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->campaign, rec.campaign);
+  EXPECT_EQ(parsed->key, rec.key);
+  EXPECT_EQ(parsed->labels, rec.labels);
+  EXPECT_EQ(parsed->seed, rec.seed);
+  EXPECT_EQ(parsed->termination, Termination::ProgressTimeout);
+  EXPECT_EQ(parsed->cyclesRun, rec.cyclesRun);
+  EXPECT_EQ(parsed->packetsCreated, rec.packetsCreated);
+  EXPECT_EQ(parsed->packetsDelivered, rec.packetsDelivered);
+  EXPECT_DOUBLE_EQ(parsed->deliveredFlitRate, rec.deliveredFlitRate);
+  ASSERT_EQ(parsed->appApl.size(), rec.appApl.size());
+  EXPECT_DOUBLE_EQ(parsed->appApl[0], rec.appApl[0]);
+  EXPECT_DOUBLE_EQ(parsed->appApl[1], rec.appApl[1]);
+  EXPECT_DOUBLE_EQ(parsed->meanApl, rec.meanApl);
+  EXPECT_DOUBLE_EQ(parsed->wallMs, rec.wallMs);
+  // Serializing the parsed record reproduces the original bytes.
+  EXPECT_EQ(parsed->toJsonLine(), rec.toJsonLine());
+  // The canonical form drops the volatile wall time.
+  EXPECT_EQ(rec.toJsonLine(false).find("wall_ms"), std::string::npos);
+  EXPECT_NE(rec.toJsonLine(true).find("wall_ms"), std::string::npos);
+}
+
+TEST(CellRecord, RejectsNonCellLines) {
+  EXPECT_FALSE(CellRecord::fromJsonLine("not json").has_value());
+  EXPECT_FALSE(CellRecord::fromJsonLine("{\"type\":\"value\"}").has_value());
+  EXPECT_FALSE(CellRecord::fromJsonLine("{}").has_value());
+}
+
+TEST(Store, ValueAndCellRecordsRoundTripThroughFile) {
+  const std::string path = freshTempFile("rair_store_roundtrip.jsonl");
+
+  CellRecord rec;
+  rec.campaign = "unit";
+  rec.key = "cell-a";
+  rec.seed = 11;
+  rec.termination = Termination::Drained;
+  rec.appApl = {10.0};
+  rec.meanApl = 10.0;
+  {
+    JsonlWriter writer(path);
+    ASSERT_TRUE(writer.enabled());
+    writer.writeLine(valueJsonLine("unit", "cal/knee", 0.38125));
+    writer.writeLine(rec.toJsonLine());
+    writer.writeLine("garbage that must be skipped, not fatal");
+  }
+
+  const CampaignFileData data = loadCampaignFile(path);
+  ASSERT_EQ(data.values.count("cal/knee"), 1u);
+  EXPECT_DOUBLE_EQ(data.values.at("cal/knee"), 0.38125);
+  ASSERT_EQ(data.cells.count("cell-a"), 1u);
+  const CellRecord& loaded = data.cells.at("cell-a");
+  EXPECT_TRUE(loaded.fromCache);
+  EXPECT_EQ(loaded.seed, 11u);
+  EXPECT_TRUE(loaded.drained());
+
+  // A missing file is empty data, not an error.
+  const auto none = loadCampaignFile(freshTempFile("rair_store_missing.jsonl"));
+  EXPECT_TRUE(none.cells.empty());
+  EXPECT_TRUE(none.values.empty());
+  std::remove(path.c_str());
+}
+
+// Satellite: the headline determinism guarantee. The same campaign run
+// serially and on a 4-thread pool must yield byte-identical canonical
+// records — seeds depend only on (campaignSeed, cellIndex), never on the
+// worker that picked the cell up or the completion order.
+TEST(Runner, ParallelMatchesSerial) {
+  const CampaignSpec spec = smallSpec();
+
+  RunnerOptions serial;
+  serial.jobs = 1;
+  const CampaignSummary one = runCampaign(spec, serial);
+
+  RunnerOptions pooled;
+  pooled.jobs = 4;
+  const CampaignSummary four = runCampaign(spec, pooled);
+
+  ASSERT_EQ(one.records.size(), spec.cells.size());
+  ASSERT_EQ(four.records.size(), spec.cells.size());
+  EXPECT_EQ(one.executed, spec.cells.size());
+  EXPECT_EQ(four.executed, spec.cells.size());
+  EXPECT_EQ(canonicalLines(one.records), canonicalLines(four.records));
+  for (const CellRecord& r : one.records) {
+    EXPECT_TRUE(r.drained()) << r.key;
+    EXPECT_FALSE(r.fromCache);
+  }
+}
+
+TEST(Runner, RecordsFollowSpecOrderAndSeeds) {
+  const CampaignSpec spec = smallSpec();
+  RunnerOptions opts;
+  opts.jobs = 2;
+  const CampaignSummary summary = runCampaign(spec, opts);
+  ASSERT_EQ(summary.records.size(), spec.cells.size());
+  for (std::size_t i = 0; i < spec.cells.size(); ++i) {
+    EXPECT_EQ(summary.records[i].key, spec.cells[i].key);
+    EXPECT_EQ(summary.records[i].seed, cellSeed(spec.campaignSeed, i));
+    EXPECT_EQ(summary.records[i].campaign, spec.name);
+  }
+  EXPECT_EQ(summary.lookup().size(), spec.cells.size());
+}
+
+TEST(Runner, ResumeExecutesNothingOnSecondRun) {
+  const CampaignSpec spec = smallSpec();
+  const std::string path = freshTempFile("rair_resume.jsonl");
+
+  RunnerOptions opts;
+  opts.jobs = 2;
+  opts.outPath = path;
+  const CampaignSummary first = runCampaign(spec, opts);
+  EXPECT_EQ(first.executed, spec.cells.size());
+  EXPECT_EQ(first.skipped, 0u);
+
+  const CampaignSummary second = runCampaign(spec, opts);
+  EXPECT_EQ(second.executed, 0u);
+  EXPECT_EQ(second.skipped, spec.cells.size());
+  for (const CellRecord& r : second.records) EXPECT_TRUE(r.fromCache);
+
+  // Cached results are the executed results, bit for bit.
+  EXPECT_EQ(canonicalLines(first.records), canonicalLines(second.records));
+  std::remove(path.c_str());
+}
+
+TEST(Runner, PartialResumeRunsOnlyMissingCells) {
+  const CampaignSpec full = smallSpec();
+  CampaignSpec half = smallSpec();
+  half.cells.resize(2);
+
+  const std::string path = freshTempFile("rair_partial_resume.jsonl");
+  RunnerOptions opts;
+  opts.jobs = 2;
+  opts.outPath = path;
+  const CampaignSummary seeded = runCampaign(half, opts);
+  EXPECT_EQ(seeded.executed, 2u);
+
+  const CampaignSummary rest = runCampaign(full, opts);
+  EXPECT_EQ(rest.skipped, 2u);
+  EXPECT_EQ(rest.executed, full.cells.size() - 2);
+  ASSERT_EQ(rest.records.size(), full.cells.size());
+  EXPECT_TRUE(rest.records[0].fromCache);
+  EXPECT_FALSE(rest.records[2].fromCache);
+
+  // resume = false re-executes everything regardless of the file.
+  RunnerOptions fresh = opts;
+  fresh.outPath.clear();
+  fresh.resume = false;
+  EXPECT_EQ(runCampaign(full, fresh).executed, full.cells.size());
+  std::remove(path.c_str());
+}
+
+TEST(Runner, TripwiredCellIsRecordedNotFatal) {
+  CampaignSpec spec;
+  spec.name = "unit_trip";
+  CampaignCell ok;
+  ok.key = "ok";
+  ok.run = [](std::uint64_t) {
+    ScenarioResult r;
+    r.appApl = {10.0};
+    r.meanApl = 10.0;
+    r.run.termination = Termination::Drained;
+    r.run.fullyDrained = true;
+    return r;
+  };
+  spec.add(std::move(ok));
+  CampaignCell stuck;
+  stuck.key = "stuck";
+  stuck.run = [](std::uint64_t) {
+    ScenarioResult r;
+    r.appApl = {1e9};
+    r.meanApl = 1e9;
+    r.run.termination = Termination::ProgressTimeout;
+    r.run.cyclesRun = 123;
+    return r;
+  };
+  spec.add(std::move(stuck));
+
+  RunnerOptions opts;
+  opts.jobs = 2;
+  const CampaignSummary summary = runCampaign(spec, opts);
+  ASSERT_EQ(summary.records.size(), 2u);
+  EXPECT_EQ(summary.tripwired, 1u);
+  EXPECT_EQ(summary.records[0].termination, Termination::Drained);
+  EXPECT_EQ(summary.records[1].termination, Termination::ProgressTimeout);
+  EXPECT_EQ(summary.records[1].cyclesRun, 123u);
+}
+
+TEST(LazyCampaign, MemoizesAndMatchesRunner) {
+  LazyCampaign lazy(smallSpec());
+  const CellRecord& first = lazy.cell("RO_RR/low");
+  const CellRecord& again = lazy.cell("RO_RR/low");
+  EXPECT_EQ(&first, &again);  // node-stable, computed once
+
+  RunnerOptions serial;
+  serial.jobs = 1;
+  const CampaignSummary summary = runCampaign(smallSpec(), serial);
+  EXPECT_EQ(first.toJsonLine(false), summary.records[0].toJsonLine(false));
+}
+
+TEST(Termination, NamesRoundTrip) {
+  for (Termination t : {Termination::Drained, Termination::DrainLimit,
+                        Termination::ProgressTimeout}) {
+    const auto back = terminationFromName(terminationName(t));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, t);
+  }
+  EXPECT_FALSE(terminationFromName("exploded").has_value());
+}
+
+}  // namespace
+}  // namespace rair::campaign

@@ -1,0 +1,85 @@
+#include "campaign/json.h"
+
+#include <gtest/gtest.h>
+
+namespace rair::campaign {
+namespace {
+
+TEST(Json, DumpsScalars) {
+  EXPECT_EQ(JsonValue().dump(), "null");
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(false).dump(), "false");
+  EXPECT_EQ(JsonValue(42).dump(), "42");
+  EXPECT_EQ(JsonValue(1.5).dump(), "1.5");
+  EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, EscapesStrings) {
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb\t"), "a\\nb\\t");
+  EXPECT_EQ(jsonEscape(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  JsonValue o{JsonValue::Object{}};
+  o.set("b", JsonValue(1));
+  o.set("a", JsonValue(2));
+  EXPECT_EQ(o.dump(), "{\"b\":1,\"a\":2}");
+}
+
+TEST(Json, ParsesNested) {
+  const auto v = JsonValue::parse(
+      R"({"name":"x","nums":[1,2.5,-3e2],"sub":{"ok":true,"n":null}})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("name")->asString(), "x");
+  const auto& nums = v->find("nums")->asArray();
+  ASSERT_EQ(nums.size(), 3u);
+  EXPECT_DOUBLE_EQ(nums[1].asNumber(), 2.5);
+  EXPECT_DOUBLE_EQ(nums[2].asNumber(), -300.0);
+  EXPECT_TRUE(v->find("sub")->find("ok")->asBool());
+  EXPECT_TRUE(v->find("sub")->find("n")->isNull());
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(Json, ParsesEscapesAndUnicode) {
+  const auto v = JsonValue::parse(R"("a\"b\\c\ndAé")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->asString(), "a\"b\\c\ndA\xc3\xa9");
+}
+
+TEST(Json, RoundTripsDump) {
+  const std::string text =
+      R"({"k":"v","arr":[1,true,null,"s"],"num":0.125})";
+  const auto v = JsonValue::parse(text);
+  ASSERT_TRUE(v.has_value());
+  const auto again = JsonValue::parse(v->dump());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(v->dump(), again->dump());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::parse("").has_value());
+  EXPECT_FALSE(JsonValue::parse("{").has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\":}").has_value());
+  EXPECT_FALSE(JsonValue::parse("[1,]").has_value());
+  EXPECT_FALSE(JsonValue::parse("\"unterminated").has_value());
+  EXPECT_FALSE(JsonValue::parse("{} trailing").has_value());
+  EXPECT_FALSE(JsonValue::parse("nul").has_value());
+  EXPECT_FALSE(JsonValue::parse("--3").has_value());
+}
+
+TEST(Json, DoubleFormattingIsDeterministic) {
+  // The determinism guarantee of campaign records rests on stable double
+  // formatting: same value -> same bytes.
+  EXPECT_EQ(formatJsonDouble(41.25), formatJsonDouble(41.25));
+  EXPECT_EQ(formatJsonDouble(1.0 / 3.0), formatJsonDouble(1.0 / 3.0));
+  // And round-trips exactly through the parser (17 significant digits).
+  const double v = 0.1234567890123456789;
+  const auto parsed = JsonValue::parse(formatJsonDouble(v));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->asNumber(), v);
+}
+
+}  // namespace
+}  // namespace rair::campaign

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace rair {
 namespace {
@@ -35,6 +36,66 @@ TEST(Saturation, KneeFactorShiftsResult) {
   SaturationOptions tight;
   tight.kneeFactor = 2.0;
   EXPECT_GT(findSaturationRate(apl, loose), findSaturationRate(apl, tight));
+}
+
+TEST(Saturation, KneeBelowStartRateBisectsLowerInterval) {
+  // The knee sits below the geometric scan's start rate: the very first
+  // probe is already saturated, so bisection must work the interval
+  // [zeroLoadRate, startRate] instead of running off a bogus bracket.
+  auto apl = [](double r) { return r < 0.01 ? 10.0 : 1e9; };
+  SaturationOptions opts;  // zeroLoadRate 0.005, startRate 0.02
+  const double sat = findSaturationRate(apl, opts);
+  EXPECT_GE(sat, opts.zeroLoadRate);
+  EXPECT_LE(sat, opts.startRate);
+  EXPECT_NEAR(sat, 0.01, 0.002);
+}
+
+TEST(Saturation, KneeInsideLastGeometricGapReportsMaxRate) {
+  // With growth 1.3 the scan's last probe below maxRate = 1.0 is ~0.787;
+  // a knee hiding in the unprobed (0.787, 1.0] tail is indistinguishable
+  // from never-saturating, so the finder reports maxRate — and must never
+  // exceed the link-rate bound while doing so.
+  auto apl = [](double r) { return r > 0.95 ? 1e9 : 10.0; };
+  SaturationOptions opts;  // maxRate 1.0
+  const double sat = findSaturationRate(apl, opts);
+  EXPECT_DOUBLE_EQ(sat, opts.maxRate);
+}
+
+TEST(Saturation, KneeNearUpperBoundBisectsWithinLastProbedStep) {
+  // A knee in the last *probed* step (just under the 0.787 final probe)
+  // must be bracketed and bisected, not rounded up to maxRate.
+  auto apl = [](double r) { return r > 0.7 ? 1e9 : 10.0; };
+  SaturationOptions opts;  // maxRate 1.0
+  const double sat = findSaturationRate(apl, opts);
+  EXPECT_LT(sat, opts.maxRate);
+  EXPECT_NEAR(sat, 0.7, 0.02);
+}
+
+TEST(Saturation, KneeBeyondMaxRateClampsToMaxRate) {
+  // Saturation only past the search bound: the scan exhausts its range
+  // without ever bracketing a knee and must return maxRate, not diverge.
+  auto apl = [](double r) { return r > 1.5 ? 1e9 : 10.0; };
+  SaturationOptions opts;
+  opts.maxRate = 0.9;
+  EXPECT_DOUBLE_EQ(findSaturationRate(apl, opts), 0.9);
+}
+
+TEST(Saturation, NeverDrainingCellTerminatesWithinBisectIters) {
+  // A cell that never drains reports +inf APL at every probed rate above
+  // zero load (see appSaturationRate). The finder must terminate after
+  // the zero-load probe, one scan probe and bisectIters bisection probes
+  // — never loop hunting for a finite latency.
+  SaturationOptions opts;
+  int calls = 0;
+  auto apl = [&](double r) {
+    ++calls;
+    if (r <= opts.zeroLoadRate) return 5.0;
+    return std::numeric_limits<double>::infinity();
+  };
+  const double sat = findSaturationRate(apl, opts);
+  EXPECT_LE(calls, 2 + opts.bisectIters);
+  EXPECT_GE(sat, opts.zeroLoadRate);
+  EXPECT_LE(sat, opts.startRate);
 }
 
 TEST(Saturation, EmpiricalHalfMeshSaturation) {

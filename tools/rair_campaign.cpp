@@ -1,0 +1,166 @@
+// rair_campaign: run a named built-in experiment campaign on a worker
+// pool and persist structured results.
+//
+//   rair_campaign --name fig09 --jobs 4 --out BENCH_fig09.json
+//
+// Results are JSON Lines (one record per simulation cell plus memoized
+// calibration values); re-running against an existing file executes only
+// the missing cells. See EXPERIMENTS.md ("Campaigns") for the record
+// schema and resume semantics.
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "campaign/builtin.h"
+#include "campaign/runner.h"
+#include "campaign/store.h"
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: rair_campaign --name <campaign> [options]\n"
+      "       rair_campaign --list\n"
+      "\n"
+      "options:\n"
+      "  --name NAME   built-in campaign to run (see --list)\n"
+      "  --jobs N      worker threads (default: hardware concurrency)\n"
+      "  --out FILE    JSON Lines results file (default: BENCH_<name>.json)\n"
+      "  --seed N      campaign master seed (default: 1)\n"
+      "  --fast        5x-shrunk simulation windows (= RAIR_BENCH_FAST=1)\n"
+      "  --fresh       discard an existing results file instead of resuming\n"
+      "  --no-table    skip the paper-style table rendering\n");
+}
+
+struct Args {
+  std::string name;
+  std::string out;
+  int jobs = 0;
+  std::uint64_t seed = 1;
+  bool fast = false;
+  bool fresh = false;
+  bool noTable = false;
+  bool list = false;
+};
+
+bool parseArgs(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      std::exit(0);
+    } else if (arg == "--list") {
+      args.list = true;
+    } else if (arg == "--fast") {
+      args.fast = true;
+    } else if (arg == "--fresh") {
+      args.fresh = true;
+    } else if (arg == "--no-table") {
+      args.noTable = true;
+    } else if (arg == "--name") {
+      const char* v = next();
+      if (!v) return false;
+      args.name = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return false;
+      args.out = v;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (!v) return false;
+      args.jobs = std::atoi(v);
+      if (args.jobs <= 0) return false;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return args.list || !args.name.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rair::campaign;
+
+  Args args;
+  if (!parseArgs(argc, argv, args)) {
+    usage(stderr);
+    return 2;
+  }
+
+  if (args.list) {
+    std::printf("built-in campaigns:\n");
+    for (const std::string& name : builtinCampaignNames())
+      std::printf("  %s\n", name.c_str());
+    return 0;
+  }
+
+  if (!isBuiltinCampaign(args.name)) {
+    std::fprintf(stderr, "unknown campaign '%s'; --list shows the "
+                         "built-ins\n", args.name.c_str());
+    return 2;
+  }
+  if (args.out.empty()) args.out = "BENCH_" + args.name + ".json";
+  if (args.fresh) std::remove(args.out.c_str());
+  if (std::getenv("RAIR_BENCH_FAST") != nullptr) args.fast = true;
+
+  const auto logLine = [](const std::string& msg) {
+    std::fprintf(stderr, "rair_campaign: %s\n", msg.c_str());
+  };
+
+  // Build the spec with a results-file-backed calibration cache: known
+  // values are reused, fresh ones are appended so the next invocation
+  // skips calibration entirely. The writer is scoped to the build — the
+  // runner opens its own append handle afterwards.
+  const CampaignSpec spec = [&] {
+    const CampaignFileData data = loadCampaignFile(args.out);
+    JsonlWriter writer(args.out);
+    BuildContext ctx = defaultBuildContext(args.fast);
+    ctx.campaignSeed = args.seed;
+    ctx.log = logLine;
+    auto memo = std::make_shared<std::map<std::string, double>>(data.values);
+    const std::string name = args.name;
+    ctx.value = [&writer, memo, name](const std::string& key,
+                                      const std::function<double()>& fn) {
+      const auto it = memo->find(key);
+      if (it != memo->end()) return it->second;
+      const double v = fn();
+      (*memo)[key] = v;
+      writer.writeLine(valueJsonLine(name, key, v));
+      return v;
+    };
+    return buildBuiltinCampaign(args.name, ctx);
+  }();
+
+  RunnerOptions opts;
+  opts.jobs = args.jobs;
+  opts.outPath = args.out;
+  opts.resume = true;
+  opts.log = logLine;
+  const CampaignSummary summary = runCampaign(spec, opts);
+
+  if (!args.noTable && spec.renderTables) {
+    const std::string tables = spec.renderTables(summary.lookup());
+    std::fwrite(tables.data(), 1, tables.size(), stdout);
+  }
+
+  std::printf(
+      "\ncampaign %s: %zu cells (%zu executed, %zu resumed, %zu not "
+      "drained) in %.1f s -> %s\n",
+      spec.name.c_str(), spec.cells.size(), summary.executed,
+      summary.skipped, summary.tripwired, summary.wallMs / 1000.0,
+      args.out.c_str());
+  return 0;
+}
