@@ -45,8 +45,10 @@ const ScenarioResult& cell(double delta, char scen) {
   return ResultStore::instance().scenario(key, [&, delta, scen] {
     SchemeSpec s = schemeRaRair();
     s.rair.hysteresisDelta = delta;
-    return runScenario(mesh(), regions(), paperSimConfig(), s,
-                       workload(scen));
+    return runScenario(ScenarioSpec(mesh(), regions())
+                           .withConfig(paperSimConfig())
+                           .withScheme(s)
+                           .withApps(workload(scen)));
   });
 }
 

@@ -52,8 +52,10 @@ double cell(PatternKind pat, double rate) {
     cfg.drainLimit = 60'000;  // saturated points need not fully drain
     AppTrafficSpec s = shapeFor(pat);
     s.injectionRate = rate;
-    const auto r =
-        runScenario(mesh(), regions(), cfg, schemeRoRr(), {s});
+    const auto r = runScenario(ScenarioSpec(mesh(), regions())
+                                   .withConfig(cfg)
+                                   .withScheme(schemeRoRr())
+                                   .withApps({s}));
     return r.run.fullyDrained ? r.appApl[0] : -1.0;  // -1: saturated
   });
 }

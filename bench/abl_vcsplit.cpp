@@ -38,8 +38,10 @@ const std::vector<int>& splits() {
 
 const ScenarioResult& baseline() {
   return ResultStore::instance().scenario("RO_RR", [] {
-    return runScenario(mesh(), regions(), paperSimConfig(), schemeRoRr(),
-                       workload());
+    return runScenario(ScenarioSpec(mesh(), regions())
+                           .withConfig(paperSimConfig())
+                           .withScheme(schemeRoRr())
+                           .withApps(workload()));
   });
 }
 
@@ -48,7 +50,10 @@ const ScenarioResult& cell(int globalVcs) {
   return ResultStore::instance().scenario(key, [globalVcs] {
     SimConfig cfg = paperSimConfig();
     cfg.net.globalVcsPerClass = globalVcs;
-    return runScenario(mesh(), regions(), cfg, schemeRaRair(), workload());
+    return runScenario(ScenarioSpec(mesh(), regions())
+                           .withConfig(cfg)
+                           .withScheme(schemeRaRair())
+                           .withApps(workload()));
   });
 }
 

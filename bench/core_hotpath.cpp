@@ -1,0 +1,104 @@
+// Core hot-path microbenchmark: raw simulated-cycles/sec and
+// flit-hops/sec of the warm per-cycle loop (NIC tick + router pipeline +
+// congestion propagation), with no scenario termination logic in the way.
+//
+// This is the repo's performance baseline: CI runs it in Release mode and
+// tools/perf_check.py fails the build on a large regression against the
+// checked-in BENCH_core_hotpath.json (see EXPERIMENTS.md, "Performance
+// baseline"). Regenerate the baseline on intentional perf changes with:
+//
+//   ./build/bench/core_hotpath --benchmark_format=json \
+//       --benchmark_out=BENCH_core_hotpath.json
+//
+// The workload is the fig09 p=100 cell shape (App 0 fully inter-region at
+// 10% of half-mesh saturation, App 1 local) with App 1 swept across the
+// load regimes that dominate campaign wall time: low (10% of saturation),
+// knee (85%) and past saturation (110%).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "scenarios/paper_scenarios.h"
+#include "sim/scenario.h"
+
+namespace rair {
+namespace {
+
+/// Calibrated half-mesh saturation of the fig09 campaign (the
+/// "halves/halfSat" record); hard-coded so the benchmark starts instantly
+/// and the workload is identical on every machine.
+constexpr double kHalfSat = 0.38195418397913583;
+
+constexpr Cycle kWarmupCycles = 5'000;
+constexpr Cycle kCyclesPerIteration = 10'000;
+
+/// A warm, endlessly injectable simulation: measurement windows are
+/// irrelevant here, so they are pushed out far enough that sources and
+/// stats behave identically for the whole benchmark run.
+struct HotLoop {
+  Mesh mesh{8, 8};
+  RegionMap regions;
+  std::unique_ptr<ArbiterPolicy> policy;
+  std::unique_ptr<Simulator> sim;
+
+  HotLoop(const SchemeSpec& scheme, double app1Fraction)
+      : regions(RegionMap::halves(mesh)) {
+    const auto apps = scenarios::twoAppInterRegion(
+        /*p=*/1.0, scenarios::kLowLoadFraction * kHalfSat,
+        app1Fraction * kHalfSat);
+
+    SimConfig cfg = ScenarioSpec::windowPreset(/*fast=*/true);
+    cfg.measureCycles = 1'000'000'000;  // never stop admitting packets
+    cfg.routing = scheme.routing;
+    cfg.net.rairPartition = scheme.needsRairPartition();
+
+    std::vector<double> intensities;
+    for (const auto& a : apps) intensities.push_back(a.injectionRate);
+    policy = makePolicy(scheme, intensities);
+    sim = std::make_unique<Simulator>(mesh, regions, cfg, *policy, 2);
+    std::uint64_t seed = 1;
+    for (const auto& a : apps) {
+      sim->addSource(
+          std::make_unique<RegionalizedSource>(mesh, regions, a, seed));
+      seed += 0x9E3779B9ull;
+    }
+    sim->begin();
+    for (Cycle c = 0; c < kWarmupCycles; ++c) sim->stepCycle();
+  }
+};
+
+void BM_hotpath(benchmark::State& st, const SchemeSpec& scheme,
+                double app1Fraction) {
+  HotLoop loop(scheme, app1Fraction);
+  const std::uint64_t hops0 = loop.sim->network().totalFlitsTraversed();
+  std::uint64_t cycles = 0;
+  for (auto _ : st) {
+    for (Cycle c = 0; c < kCyclesPerIteration; ++c) loop.sim->stepCycle();
+    cycles += kCyclesPerIteration;
+  }
+  const std::uint64_t hops =
+      loop.sim->network().totalFlitsTraversed() - hops0;
+  st.counters["cycles_per_sec"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  st.counters["flit_hops_per_sec"] = benchmark::Counter(
+      static_cast<double>(hops), benchmark::Counter::kIsRate);
+  st.counters["in_flight"] =
+      static_cast<double>(loop.sim->inFlight());
+}
+
+#define RAIR_HOTPATH_BENCH(name, scheme, fraction)               \
+  BENCHMARK_CAPTURE(BM_hotpath, name, scheme, fraction)          \
+      ->Unit(benchmark::kMillisecond)
+
+RAIR_HOTPATH_BENCH(ro_rr_low, schemeRoRr(), 0.10);
+RAIR_HOTPATH_BENCH(ro_rr_knee, schemeRoRr(), 0.85);
+RAIR_HOTPATH_BENCH(ro_rr_saturated, schemeRoRr(), 1.10);
+RAIR_HOTPATH_BENCH(ra_rair_low, schemeRaRair(), 0.10);
+RAIR_HOTPATH_BENCH(ra_rair_knee, schemeRaRair(), 0.85);
+RAIR_HOTPATH_BENCH(ra_rair_saturated, schemeRaRair(), 1.10);
+
+}  // namespace
+}  // namespace rair
+
+BENCHMARK_MAIN();

@@ -48,7 +48,10 @@ const ScenarioResult& cell(const SchemeSpec& scheme, int p) {
     const auto apps = scenarios::twoAppInterRegion(
         p / 100.0, scenarios::kLowLoadFraction * sat,
         scenarios::kHighLoadFraction * sat);
-    return runScenario(mesh(), regions(), paperSimConfig(), scheme, apps);
+    return runScenario(ScenarioSpec(mesh(), regions())
+                           .withConfig(paperSimConfig())
+                           .withScheme(scheme)
+                           .withApps(apps));
   });
 }
 

@@ -54,8 +54,10 @@ std::vector<AppTrafficSpec> workload(char scen) {
 const ScenarioResult& cell(const SchemeSpec& scheme, char scen) {
   const std::string key = scheme.label + "/" + scen;
   return ResultStore::instance().scenario(key, [&, scen] {
-    return runScenario(mesh(), regions(), paperSimConfig(), scheme,
-                       workload(scen));
+    return runScenario(ScenarioSpec(mesh(), regions())
+                           .withConfig(paperSimConfig())
+                           .withScheme(scheme)
+                           .withApps(workload(scen)));
   });
 }
 

@@ -44,7 +44,10 @@ const ScenarioResult& cell(const SchemeSpec& scheme) {
     const auto rates = resolvedRates();
     const auto apps =
         scenarios::sixAppMixed(PatternKind::UniformRandom, rates);
-    return runScenario(mesh(), regions(), paperSimConfig(), scheme, apps);
+    return runScenario(ScenarioSpec(mesh(), regions())
+                           .withConfig(paperSimConfig())
+                           .withScheme(scheme)
+                           .withApps(apps));
   });
 }
 

@@ -59,7 +59,10 @@ const ScenarioResult& cell(const SchemeSpec& scheme, PatternKind pat) {
       scheme.label + "/" + std::string(patternName(pat));
   return ResultStore::instance().scenario(key, [&, pat] {
     const auto apps = scenarios::sixAppMixed(pat, resolvedRates(pat));
-    return runScenario(mesh(), regions(), paperSimConfig(), scheme, apps);
+    return runScenario(ScenarioSpec(mesh(), regions())
+                           .withConfig(paperSimConfig())
+                           .withScheme(scheme)
+                           .withApps(apps));
   });
 }
 

@@ -52,10 +52,11 @@ double attackRate() {
       cfg.drainLimit = so.drainLimit;
       std::vector<AppTrafficSpec> idle(4);
       for (AppId a = 0; a < 4; ++a) idle[static_cast<size_t>(a)].app = a;
-      ScenarioOptions opts;
-      opts.adversarialRate = rate;
-      const auto r =
-          runScenario(mesh(), regions(), cfg, schemeRoRr(), idle, opts);
+      const auto r = runScenario(ScenarioSpec(mesh(), regions())
+                                     .withConfig(cfg)
+                                     .withScheme(schemeRoRr())
+                                     .withApps(std::move(idle))
+                                     .withAdversarialRate(rate));
       if (!r.run.fullyDrained)
         return std::numeric_limits<double>::infinity();
       return r.appApl[4];

@@ -40,10 +40,6 @@ int main(int argc, char** argv) {
   const std::vector<double> rates = {0.03, 0.22, 0.04, 0.05, 0.08, 0.22};
   const auto apps = scenarios::sixAppMixed(pattern, rates);
 
-  SimConfig cfg;
-  cfg.warmupCycles = 2'000;
-  cfg.measureCycles = 20'000;
-
   std::printf("Six-app RNoC study, global traffic pattern = %s\n\n",
               std::string(patternName(pattern)).c_str());
 
@@ -52,7 +48,10 @@ int main(int argc, char** argv) {
   ScenarioResult baseline;
   for (const SchemeSpec& scheme :
        {schemeRoRr(), schemeRaDbar(), schemeRoRank(), schemeRaRair()}) {
-    const auto r = runScenario(mesh, regions, cfg, scheme, apps);
+    const auto r = runScenario(ScenarioSpec(mesh, regions)
+                                   .withScheme(scheme)
+                                   .withApps(apps)
+                                   .withFastWindows());
     if (scheme.label == "RO_RR") baseline = r;
     const auto row = table.addRow();
     table.set(row, 0, scheme.label);

@@ -14,16 +14,7 @@
 namespace rair::campaign {
 
 SimConfig paperSimConfig(bool fast) {
-  SimConfig cfg;
-  if (fast) {
-    cfg.warmupCycles = 2'000;
-    cfg.measureCycles = 20'000;
-  } else {
-    cfg.warmupCycles = 10'000;
-    cfg.measureCycles = 100'000;
-  }
-  cfg.drainLimit = 500'000;
-  return cfg;
+  return ScenarioSpec::windowPreset(fast);
 }
 
 SaturationOptions paperSatOptions(bool fast) {
@@ -115,11 +106,12 @@ std::vector<double> cachedRates(
 
 ScenarioResult runCell(const Fixture& fx, const SimConfig& cfg,
                        const SchemeSpec& scheme,
-                       const std::vector<AppTrafficSpec>& apps,
-                       std::uint64_t seed) {
-  ScenarioOptions opts;
-  opts.seed = seed;
-  return runScenario(*fx.mesh, *fx.regions, cfg, scheme, apps, opts);
+                       std::vector<AppTrafficSpec> apps, std::uint64_t seed) {
+  return runScenario(ScenarioSpec(*fx.mesh, *fx.regions)
+                         .withConfig(cfg)
+                         .withScheme(scheme)
+                         .withApps(std::move(apps))
+                         .withSeed(seed));
 }
 
 // ---- Figs. 9 and 10: two half-chip apps, inter-region fraction sweep ----

@@ -26,10 +26,14 @@ const std::string* CellRecord::label(std::string_view name) const {
 
 double CellRecord::reductionVs(const CellRecord& base, std::size_t app) const {
   RAIR_CHECK(app < appApl.size() && app < base.appApl.size());
+  // A non-positive baseline APL (e.g. a cell that never measured a packet)
+  // yields 0 rather than a division by zero.
+  if (!(base.appApl[app] > 0.0)) return 0.0;
   return 1.0 - appApl[app] / base.appApl[app];
 }
 
 double CellRecord::meanReductionVs(const CellRecord& base) const {
+  if (!(base.meanApl > 0.0)) return 0.0;
   return 1.0 - meanApl / base.meanApl;
 }
 

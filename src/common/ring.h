@@ -1,0 +1,93 @@
+// Allocation-free FIFO ring buffer for simulation hot paths.
+//
+// RingQueue replaces std::deque in the per-VC flit buffers, the link delay
+// pipes and the NIC source queues: a power-of-two circular array that only
+// allocates when occupancy exceeds every previous high-water mark. With
+// capacity reserved up front (VC depth, link latency) or reached during
+// warmup (source queues), steady-state push/pop touch no allocator at all —
+// unlike std::deque, which mallocs and frees chunk blocks as its window
+// slides even at constant occupancy.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace rair {
+
+template <typename T>
+class RingQueue {
+ public:
+  RingQueue() = default;
+
+  /// Ensures capacity for at least `n` elements (rounded up to a power of
+  /// two). Call once at construction time for hot-path queues.
+  void reserve(std::size_t n) {
+    if (n > buf_.size()) regrow(roundUpPow2(n));
+  }
+
+  void push_back(T v) {
+    if (size_ == buf_.size()) regrow(buf_.empty() ? 8 : buf_.size() * 2);
+    buf_[(head_ + size_) & mask_] = std::move(v);
+    ++size_;
+  }
+
+  void pop_front() {
+    RAIR_DCHECK(size_ > 0);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  T& front() {
+    RAIR_DCHECK(size_ > 0);
+    return buf_[head_];
+  }
+  const T& front() const {
+    RAIR_DCHECK(size_ > 0);
+    return buf_[head_];
+  }
+
+  /// Element `i` positions behind the front (0 = front).
+  T& operator[](std::size_t i) {
+    RAIR_DCHECK(i < size_);
+    return buf_[(head_ + i) & mask_];
+  }
+  const T& operator[](std::size_t i) const {
+    RAIR_DCHECK(i < size_);
+    return buf_[(head_ + i) & mask_];
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  static std::size_t roundUpPow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  void regrow(std::size_t newCap) {
+    std::vector<T> next(newCap);
+    for (std::size_t i = 0; i < size_; ++i)
+      next[i] = std::move(buf_[(head_ + i) & mask_]);
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = buf_.size() - 1;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace rair

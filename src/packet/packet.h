@@ -87,7 +87,33 @@ struct Flit {
   Cycle createCycle = 0;       ///< copied from the packet (age-based arb)
 };
 
-/// Serializes a packet into its flit sequence.
+/// Builds flit `i` (0-based) of packet `p` directly — the NIC streams
+/// flits from the packet with this instead of materializing a vector.
+inline Flit makeFlit(const Packet& p, std::uint16_t i) {
+  RAIR_DCHECK(p.numFlits >= 1 && i < p.numFlits);
+  Flit f;
+  f.pkt = p.id;
+  f.src = p.src;
+  f.dst = p.dst;
+  f.app = p.app;
+  f.msgClass = p.msgClass;
+  f.seq = i;
+  f.pktFlits = p.numFlits;
+  f.createCycle = p.createCycle;
+  if (p.numFlits == 1) {
+    f.type = FlitType::HeadTail;
+  } else if (i == 0) {
+    f.type = FlitType::Head;
+  } else if (i + 1 == p.numFlits) {
+    f.type = FlitType::Tail;
+  } else {
+    f.type = FlitType::Body;
+  }
+  return f;
+}
+
+/// Serializes a packet into its flit sequence (tests and tools; the
+/// simulation hot path uses makeFlit directly).
 std::vector<Flit> packetToFlits(const Packet& p);
 
 /// Draws a packet length from the paper's bimodal distribution: short and

@@ -1,0 +1,62 @@
+#include "packet/pool.h"
+
+namespace rair {
+
+PacketPool::PacketPool(std::uint32_t reserveSlots, std::uint32_t maxLive)
+    : maxLive_(maxLive) {
+  slots_.reserve(reserveSlots);
+  freeList_.reserve(reserveSlots);
+}
+
+Packet& PacketPool::acquire() {
+  if (maxLive_ != 0)
+    RAIR_CHECK_MSG(live_ < maxLive_, "packet pool exhausted (maxLive)");
+  ++live_;
+  std::uint32_t slot;
+  if (!freeList_.empty()) {
+    slot = freeList_.back();
+    freeList_.pop_back();
+  } else {
+    RAIR_CHECK_MSG(slots_.size() < 0xffffffffu, "packet pool slot overflow");
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  RAIR_DCHECK(!s.live);
+  s.live = true;
+  s.pkt = Packet{};
+  s.pkt.id = (static_cast<PacketId>(s.generation) << 32) | slot;
+  return s.pkt;
+}
+
+bool PacketPool::isLive(PacketId id) const {
+  const std::uint32_t slot = slotOf(id);
+  return slot < slots_.size() && slots_[slot].live &&
+         slots_[slot].generation == generationOf(id);
+}
+
+Packet& PacketPool::get(PacketId id) {
+  RAIR_CHECK_MSG(isLive(id), "packet pool lookup of stale/unknown id");
+  return slots_[slotOf(id)].pkt;
+}
+
+const Packet& PacketPool::get(PacketId id) const {
+  RAIR_CHECK_MSG(isLive(id), "packet pool lookup of stale/unknown id");
+  return slots_[slotOf(id)].pkt;
+}
+
+const Packet* PacketPool::find(PacketId id) const {
+  return isLive(id) ? &slots_[slotOf(id)].pkt : nullptr;
+}
+
+void PacketPool::release(PacketId id) {
+  RAIR_CHECK_MSG(isLive(id), "packet pool release of stale/unknown id");
+  Slot& s = slots_[slotOf(id)];
+  s.live = false;
+  ++s.generation;  // retire the id; 0 is never a valid generation
+  if (s.generation == 0) s.generation = 1;
+  freeList_.push_back(slotOf(id));
+  --live_;
+}
+
+}  // namespace rair

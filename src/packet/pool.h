@@ -1,0 +1,77 @@
+// Slab/free-list pool of in-flight packets — the simulator's packet ledger.
+//
+// The per-cycle hot path creates, looks up and retires packets constantly;
+// a hash-map ledger pays a hash + probe + node allocation per packet. The
+// pool instead stores packets in a contiguous slab indexed by a dense slot
+// number and recycles retired slots through a free list, so every ledger
+// operation is an array index and steady state (live count at or below the
+// high-water mark) touches no allocator.
+//
+// A PacketId encodes (generation << 32 | slot). Generations make recycled
+// ids globally unique within a simulation and let lookups detect stale ids
+// (use-after-delivery) exactly as the hash ledger's find() did.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+#include "packet/packet.h"
+
+namespace rair {
+
+class PacketPool {
+ public:
+  /// @param reserveSlots slab capacity to pre-allocate; the slab grows
+  ///        beyond it on demand (doubling), so this only sets the point up
+  ///        to which acquire() is allocation-free from the first cycle.
+  /// @param maxLive when non-zero, acquire() RAIR_CHECKs that the live
+  ///        count stays below this bound (backpressure tripwire for
+  ///        closed-loop callers; the simulator runs unbounded).
+  explicit PacketPool(std::uint32_t reserveSlots = 1024,
+                      std::uint32_t maxLive = 0);
+
+  static constexpr std::uint32_t slotOf(PacketId id) {
+    return static_cast<std::uint32_t>(id & 0xffffffffu);
+  }
+  static constexpr std::uint32_t generationOf(PacketId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  /// Acquires a slot and returns its packet, value-initialized except for
+  /// `id`, which is set to the slot's fresh unique PacketId. The reference
+  /// is invalidated by the next acquire() (slab growth) — callers must not
+  /// hold it across pool operations.
+  Packet& acquire();
+
+  /// Live-packet lookup; RAIR_CHECKs that `id` is live (generation match).
+  Packet& get(PacketId id);
+  const Packet& get(PacketId id) const;
+
+  /// Returns nullptr instead of failing on stale/unknown ids.
+  const Packet* find(PacketId id) const;
+
+  bool isLive(PacketId id) const;
+
+  /// Retires a live packet; its id becomes stale and the slot is recycled
+  /// by a later acquire().
+  void release(PacketId id);
+
+  std::size_t inFlight() const { return live_; }
+  bool empty() const { return live_ == 0; }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    Packet pkt;
+    std::uint32_t generation = 1;  ///< of the current/next occupant
+    bool live = false;
+  };
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> freeList_;  ///< recycled slot indices (LIFO)
+  std::size_t live_ = 0;
+  std::uint32_t maxLive_ = 0;
+};
+
+}  // namespace rair

@@ -7,28 +7,35 @@
 // latency. NIC<->router connections reuse the same type.
 #pragma once
 
-#include <deque>
 #include <optional>
 #include <utility>
 
 #include "common/assert.h"
+#include "common/ring.h"
 #include "common/types.h"
 #include "packet/packet.h"
 
 namespace rair {
 
 /// FIFO whose elements become visible `latency` cycles after insertion.
+///
+/// Backed by a RingQueue pre-sized for the in-simulation worst case: with
+/// one push per cycle and consumers draining every arrived element each
+/// cycle, occupancy never exceeds latency + 1, so steady state is
+/// allocation-free. The ring still grows if a caller outruns that bound.
 template <typename T>
 class DelayPipe {
  public:
   explicit DelayPipe(Cycle latency = 1) : latency_(latency) {
     RAIR_CHECK(latency >= 1);
+    q_.reserve(static_cast<std::size_t>(latency) + 2);
   }
 
   /// Enqueue `v` at time `now`; it becomes poppable at now + latency.
   void push(Cycle now, T v) {
-    RAIR_DCHECK(q_.empty() || q_.back().first <= now + latency_);
-    q_.emplace_back(now + latency_, std::move(v));
+    RAIR_DCHECK(q_.empty() ||
+                q_[q_.size() - 1].first <= now + latency_);
+    q_.push_back({now + latency_, std::move(v)});
   }
 
   /// Pops the front element if it has arrived by `now`.
@@ -39,12 +46,22 @@ class DelayPipe {
     return v;
   }
 
+  /// Zero-copy front access: pointer to the front element if it has
+  /// arrived by `now`, else nullptr. Invalidated by popFront()/push().
+  const T* peek(Cycle now) const {
+    if (q_.empty() || q_.front().first > now) return nullptr;
+    return &q_.front().second;
+  }
+
+  /// Drops the front element (pair with a successful peek()).
+  void popFront() { q_.pop_front(); }
+
   bool empty() const { return q_.empty(); }
   std::size_t size() const { return q_.size(); }
 
  private:
   Cycle latency_;
-  std::deque<std::pair<Cycle, T>> q_;
+  RingQueue<std::pair<Cycle, T>> q_;
 };
 
 /// A flit in flight, tagged with its downstream virtual channel.
@@ -68,9 +85,15 @@ class Link {
     data_.push(now, FlitMsg{std::move(f), vc});
   }
   std::optional<CreditMsg> recvCredit(Cycle now) { return credits_.pop(now); }
+  /// Zero-copy credit receive; pair with popCredit().
+  const CreditMsg* peekCredit(Cycle now) const { return credits_.peek(now); }
+  void popCredit() { credits_.popFront(); }
 
   // Downstream side.
   std::optional<FlitMsg> recvFlit(Cycle now) { return data_.pop(now); }
+  /// Zero-copy flit receive; pair with popFlit().
+  const FlitMsg* peekFlit(Cycle now) const { return data_.peek(now); }
+  void popFlit() { data_.popFront(); }
   void sendCredit(Cycle now, int vc) { credits_.push(now, CreditMsg{vc}); }
 
   bool idle() const { return data_.empty() && credits_.empty(); }

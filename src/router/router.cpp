@@ -1,6 +1,7 @@
 #include "router/router.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace rair {
 
@@ -22,11 +23,21 @@ Router::Router(NodeId id, AppId appTag, const RouterConfig& config,
       congestion_(&congestion),
       policyState_(policy.makeState()) {
   RAIR_CHECK(vcDepth_ >= 1);
+  RAIR_CHECK_MSG(layout_.totalVcs() <= 64,
+                 "per-port VC count exceeds the state-bitmask width");
   const auto slots = static_cast<size_t>(kNumPorts * layout_.totalVcs());
   inputs_.resize(slots);
   outputs_.resize(slots);
+  for (auto& i : inputs_) i.buf.reserve(static_cast<std::size_t>(vcDepth_));
   for (auto& o : outputs_) o.credits = vcDepth_;
   vaRr_.assign(slots, 0);
+  vaRequests_.reserve(slots);
+  saInWinners_.reserve(kNumPorts);
+  // Every adaptive output VC starts unallocated and fully credited.
+  int adaptivePerPort = 0;
+  for (int vc = 0; vc < layout_.totalVcs(); ++vc)
+    if (layout_.isAdaptive(vc)) ++adaptivePerPort;
+  freeAdaptive_.fill(adaptivePerPort);
 }
 
 void Router::connectIn(Dir p, Link* link) { inLinks_[portIdx(p)] = link; }
@@ -43,23 +54,30 @@ bool Router::outVcAvailable(int port, int vc, int flitsNeeded) const {
   return o.credits >= flitsNeeded;
 }
 
-int Router::freeAdaptiveOutVcs(Dir p) const {
-  const int port = portIdx(p);
-  if (outLinks_[static_cast<size_t>(port)] == nullptr) return 0;
-  int n = 0;
-  for (int vc = 0; vc < layout_.totalVcs(); ++vc) {
-    if (layout_.isAdaptive(vc) && outVcAvailable(port, vc, 1)) ++n;
-  }
-  return n;
+void Router::noteOutVcFreeChange(int port, int vc, bool wasFree) {
+  if (!layout_.isAdaptive(vc)) return;
+  const bool nowFree = countsAsFree(outVc(port, vc), vc);
+  if (wasFree != nowFree)
+    freeAdaptive_[static_cast<size_t>(port)] += nowFree ? 1 : -1;
+}
+
+void Router::reclassifyOccupancy(InputVc& ivc) {
+  const std::uint8_t next =
+      ivc.buf.empty() ? std::uint8_t{0}
+                      : (isNative(ivc.buf.front()) ? std::uint8_t{1}
+                                                   : std::uint8_t{2});
+  if (next == ivc.occClass) return;
+  if (ivc.occClass == 1) --occNative_;
+  if (ivc.occClass == 2) --occForeign_;
+  if (next == 1) ++occNative_;
+  if (next == 2) ++occForeign_;
+  ivc.occClass = next;
 }
 
 RouterOccupancy Router::occupancy() const {
   RouterOccupancy occ;
-  for (const auto& ivc : inputs_) {
-    if (ivc.buf.empty()) continue;
-    (isNative(ivc.buf.front()) ? occ.nativeOccupiedVcs
-                               : occ.foreignOccupiedVcs)++;
-  }
+  occ.nativeOccupiedVcs = occNative_;
+  occ.foreignOccupiedVcs = occForeign_;
   return occ;
 }
 
@@ -81,11 +99,13 @@ void Router::beginCycle(Cycle now) {
 
   for (int port = 0; port < kNumPorts; ++port) {
     if (Link* in = inLinks_[static_cast<size_t>(port)]) {
-      while (auto msg = in->recvFlit(now)) {
-        InputVc& ivc = inVc(port, msg->vc);
+      while (const FlitMsg* msg = in->peekFlit(now)) {
+        const int vcIdx = msg->vc;
+        InputVc& ivc = inVc(port, vcIdx);
         RAIR_CHECK_MSG(static_cast<int>(ivc.buf.size()) < vcDepth_,
                        "input VC buffer overflow (credit protocol broken)");
         Flit f = msg->flit;
+        in->popFlit();  // `msg` is dead from here on
         if (isHead(f.type)) {
           ++f.hops;
           if (ivc.buf.empty()) {
@@ -93,6 +113,8 @@ void Router::beginCycle(Cycle now) {
                            "empty VC must be idle");
             ivc.state = VcState::Routing;
             ivc.ready = now + 1;  // BW stage: RC may run next cycle
+            ++pendingRc_;
+            setStateBit(routingMask_, port, vcIdx, true);
           } else {
             // Non-atomic VC: the packet queues behind the one in flight;
             // its RC starts when it reaches the buffer head.
@@ -100,28 +122,43 @@ void Router::beginCycle(Cycle now) {
                            "head arrived at a non-empty atomic VC");
           }
         }
+        const bool wasEmpty = ivc.buf.empty();
         ivc.buf.push_back(f);
+        if (wasEmpty) reclassifyOccupancy(ivc);
       }
     }
     if (Link* out = outLinks_[static_cast<size_t>(port)]) {
-      while (auto credit = out->recvCredit(now)) {
-        OutputVc& o = outVc(port, credit->vc);
+      while (const CreditMsg* credit = out->peekCredit(now)) {
+        const int vcIdx = credit->vc;
+        out->popCredit();
+        OutputVc& o = outVc(port, vcIdx);
+        const bool wasFree = countsAsFree(o, vcIdx);
         ++o.credits;
         RAIR_CHECK_MSG(o.credits <= vcDepth_, "credit overflow");
+        noteOutVcFreeChange(port, vcIdx, wasFree);
       }
     }
   }
 }
 
 void Router::routeCompute(Cycle now) {
+  if (pendingRc_ == 0) return;
   for (int port = 0; port < kNumPorts; ++port) {
-    for (int vc = 0; vc < layout_.totalVcs(); ++vc) {
+    std::uint64_t mask = routingMask_[static_cast<size_t>(port)];
+    while (mask != 0) {
+      const int vc = std::countr_zero(mask);
+      mask &= mask - 1;
       InputVc& ivc = inVc(port, vc);
-      if (ivc.state != VcState::Routing || ivc.ready > now) continue;
+      RAIR_DCHECK(ivc.state == VcState::Routing);
+      if (ivc.ready > now) continue;
       RAIR_DCHECK(!ivc.buf.empty() && isHead(ivc.buf.front().type));
       ivc.route = routing_->computeCandidates(*mesh_, id_, ivc.buf.front());
       ivc.state = VcState::WaitingVa;
       ivc.ready = now + 1;
+      --pendingRc_;
+      ++pendingVa_;
+      setStateBit(routingMask_, port, vc, false);
+      setStateBit(waitingMask_, port, vc, true);
     }
   }
 }
@@ -212,17 +249,23 @@ ArbCandidate Router::makeCandidate(const Flit& f, VcClass outClass,
 
 void Router::vcAllocate(Cycle now) {
   vaRequests_.clear();
+  if (pendingVa_ == 0) return;
   // VA input arbitration: each WaitingVa VC independently selects one
   // output VC to request. No inter-flow contention; no policy hook.
   for (int port = 0; port < kNumPorts; ++port) {
-    for (int vc = 0; vc < layout_.totalVcs(); ++vc) {
+    std::uint64_t mask = waitingMask_[static_cast<size_t>(port)];
+    while (mask != 0) {
+      const int vc = std::countr_zero(mask);
+      mask &= mask - 1;
       InputVc& ivc = inVc(port, vc);
-      if (ivc.state != VcState::WaitingVa || ivc.ready > now) continue;
+      RAIR_DCHECK(ivc.state == VcState::WaitingVa);
+      if (ivc.ready > now) continue;
       VaRequest req;
       if (selectOutputVc(now, port, vc, req)) vaRequests_.push_back(req);
     }
   }
 
+  if (vaRequests_.empty()) return;
   // VA output arbitration: one winner per contested output VC, chosen by
   // policy priority with round-robin tie-break over input-VC ids.
   // Group requests by output VC (requests are few; linear scan is fine).
@@ -275,13 +318,21 @@ void Router::vcAllocate(Cycle now) {
     RAIR_DCHECK(
         outVcAvailable(win.outPort, win.outVc,
                        inVc(win.inPort, win.inVc).buf.front().pktFlits));
-    ovc.allocated = true;
+    {
+      const bool wasFree = countsAsFree(ovc, win.outVc);
+      ovc.allocated = true;
+      noteOutVcFreeChange(win.outPort, win.outVc, wasFree);
+    }
     ovc.ownerPort = win.inPort;
     ovc.ownerVc = win.inVc;
     ivc.state = VcState::Active;
     ivc.outPort = win.outPort;
     ivc.outVc = win.outVc;
     ivc.ready = now + 1;  // SA may start next cycle
+    --pendingVa_;
+    ++numActive_;
+    setStateBit(waitingMask_, win.inPort, win.inVc, false);
+    setStateBit(activeMask_, win.inPort, win.inVc, true);
     vaRr_[rrSlot] = (win.inPort * totalVcs + win.inVc + 1) %
                     (kNumPorts * totalVcs);
     i = j;
@@ -295,15 +346,20 @@ void Router::switchAllocateAndTraverse(Cycle now) {
   // SA input arbitration: at most one input VC per input port wins access
   // to the port's crossbar input.
   saInWinners_.clear();
+  if (numActive_ == 0) return;
   const int totalVcs = layout_.totalVcs();
+  std::uint32_t requestedOutPorts = 0;
   for (int port = 0; port < kNumPorts; ++port) {
     std::uint64_t bestPrio = 0;
     int bestDist = -1;
     int bestVc = -1;
-    for (int vc = 0; vc < totalVcs; ++vc) {
+    std::uint64_t mask = activeMask_[static_cast<size_t>(port)];
+    while (mask != 0) {
+      const int vc = std::countr_zero(mask);
+      mask &= mask - 1;
       const InputVc& ivc = inVc(port, vc);
-      if (ivc.state != VcState::Active || ivc.ready > now || ivc.buf.empty())
-        continue;
+      RAIR_DCHECK(ivc.state == VcState::Active);
+      if (ivc.ready > now || ivc.buf.empty()) continue;
       const OutputVc& ovc = outVc(ivc.outPort, ivc.outVc);
       if (ovc.credits <= 0) continue;  // no downstream buffer space
       const std::uint64_t prio = policy_->priority(
@@ -322,11 +378,16 @@ void Router::switchAllocateAndTraverse(Cycle now) {
     if (bestVc >= 0) {
       const InputVc& ivc = inVc(port, bestVc);
       saInWinners_.push_back({port, bestVc, ivc.outPort, ivc.outVc});
+      requestedOutPorts |= 1u << ivc.outPort;
     }
   }
+  if (saInWinners_.empty()) return;
 
-  // SA output arbitration: one winner per output port.
-  for (int outPort = 0; outPort < kNumPorts; ++outPort) {
+  // SA output arbitration: one winner per requested output port
+  // (ascending port order, same as scanning all of them).
+  while (requestedOutPorts != 0) {
+    const int outPort = std::countr_zero(requestedOutPorts);
+    requestedOutPorts &= requestedOutPorts - 1;
     std::uint64_t bestPrio = 0;
     int bestDist = -1;
     int best = -1;
@@ -356,6 +417,7 @@ void Router::switchAllocateAndTraverse(Cycle now) {
     OutputVc& ovc = outVc(w.outPort, w.outVc);
     Flit f = ivc.buf.front();
     ivc.buf.pop_front();
+    reclassifyOccupancy(ivc);
     --ovc.credits;
     RAIR_DCHECK(ovc.credits >= 0);
     outLinks_[static_cast<size_t>(w.outPort)]->sendFlit(now, f, w.outVc);
@@ -371,9 +433,15 @@ void Router::switchAllocateAndTraverse(Cycle now) {
       ivc.outPort = -1;
       ivc.outVc = -1;
       ivc.route = RouteResult{};
-      ovc.allocated = false;
+      {
+        const bool wasFree = countsAsFree(ovc, w.outVc);
+        ovc.allocated = false;
+        noteOutVcFreeChange(w.outPort, w.outVc, wasFree);
+      }
       ovc.ownerPort = -1;
       ovc.ownerVc = -1;
+      --numActive_;
+      setStateBit(activeMask_, w.inPort, w.inVc, false);
       if (ivc.buf.empty()) {
         ivc.state = VcState::Idle;
       } else {
@@ -382,11 +450,16 @@ void Router::switchAllocateAndTraverse(Cycle now) {
                        "non-head flit surfaced behind a tail");
         ivc.state = VcState::Routing;
         ivc.ready = now + 1;
+        ++pendingRc_;
+        setStateBit(routingMask_, w.inPort, w.inVc, true);
       }
     }
   }
 }
 
-void Router::endCycle(Cycle /*now*/) { prevOccupancy_ = occupancy(); }
+void Router::endCycle(Cycle /*now*/) {
+  // O(1): the occupancy registers are maintained incrementally.
+  prevOccupancy_ = occupancy();
+}
 
 }  // namespace rair

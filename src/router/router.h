@@ -23,10 +23,10 @@
 //   * SA_out — policy priority per output port, tie -> round-robin.
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <vector>
 
+#include "common/ring.h"
 #include "policy/policy.h"
 #include "router/link.h"
 #include "router/vc.h"
@@ -99,8 +99,13 @@ class Router {
 
   /// Output VCs on port `p` currently available for allocation, counting
   /// adaptive (non-escape) VCs only; 0 when the port is unconnected. This
-  /// is the congestion metric exported to routing selection functions.
-  int freeAdaptiveOutVcs(Dir p) const;
+  /// is the congestion metric exported to routing selection functions —
+  /// maintained incrementally, so reading it is O(1).
+  int freeAdaptiveOutVcs(Dir p) const {
+    const auto port = static_cast<size_t>(p);
+    if (outLinks_[port] == nullptr) return 0;
+    return freeAdaptive_[port];
+  }
 
   /// Occupied input VCs holding native / foreign traffic (all ports) —
   /// the OVC_n / OVC_f registers of the paper's DPA logic.
@@ -120,11 +125,14 @@ class Router {
  private:
   struct InputVc {
     VcState state = VcState::Idle;
-    std::deque<Flit> buf;
+    RingQueue<Flit> buf;  ///< ring sized to vcDepth; allocation-free
     RouteResult route;
     int outPort = -1;
     int outVc = -1;
     Cycle ready = 0;  ///< earliest cycle of the next pipeline action
+    /// Occupancy class of the buffered front flit, maintained
+    /// incrementally: 0 = empty, 1 = native, 2 = foreign.
+    std::uint8_t occClass = 0;
   };
 
   struct OutputVc {
@@ -182,6 +190,23 @@ class Router {
   ArbCandidate makeCandidate(const Flit& f, VcClass outClass,
                              Cycle now) const;
 
+  /// Maintains occNative_/occForeign_ and the per-VC occClass after the
+  /// front flit of `ivc` changed (push into empty buffer or pop).
+  void reclassifyOccupancy(InputVc& ivc);
+
+  /// Adjusts freeAdaptive_ when output VC (port, vc) may have crossed the
+  /// "available for a 1-flit packet" boundary. `wasFree` is the
+  /// availability before the mutation.
+  void noteOutVcFreeChange(int port, int vc, bool wasFree);
+
+  /// Availability of (port, vc) for a minimal (1-flit) packet, ignoring
+  /// link connectivity — the quantity freeAdaptive_ counts.
+  bool countsAsFree(const OutputVc& o, int vc) const {
+    if (o.allocated) return false;
+    return (atomicVcs_ || layout_.isEscape(vc)) ? o.credits == vcDepth_
+                                                : o.credits >= 1;
+  }
+
   NodeId id_;
   AppId appTag_;
   VcLayout layout_;
@@ -211,6 +236,29 @@ class Router {
   RouterCounters counters_;
   int flitsMovedThisCycle_ = 0;
   int flitsMovedLastCycle_ = 0;
+
+  // Incrementally maintained aggregates (hot path avoids full scans).
+  int occNative_ = 0;   ///< input VCs whose front flit is native
+  int occForeign_ = 0;  ///< input VCs whose front flit is foreign
+  std::array<int, kNumPorts> freeAdaptive_{};  ///< per out port, 1-flit avail
+  int pendingRc_ = 0;  ///< input VCs in Routing
+  int pendingVa_ = 0;  ///< input VCs in WaitingVa
+  int numActive_ = 0;  ///< input VCs in Active
+
+  // Per-port bitmask of input VCs in each pipeline state (bit = VC index).
+  // The RC/VA/SA scans walk set bits in ascending order — identical visit
+  // order to the full scan, but cost proportional to occupancy.
+  std::array<std::uint64_t, kNumPorts> routingMask_{};
+  std::array<std::uint64_t, kNumPorts> waitingMask_{};
+  std::array<std::uint64_t, kNumPorts> activeMask_{};
+
+  void setStateBit(std::array<std::uint64_t, kNumPorts>& m, int port,
+                   int vc, bool on) {
+    if (on)
+      m[static_cast<size_t>(port)] |= std::uint64_t{1} << vc;
+    else
+      m[static_cast<size_t>(port)] &= ~(std::uint64_t{1} << vc);
+  }
 };
 
 }  // namespace rair

@@ -119,7 +119,10 @@ std::vector<double> calibrateLoads(const Mesh& mesh, const RegionMap& regions,
     std::vector<AppTrafficSpec> apps = shapes;
     for (std::size_t i = 0; i < n; ++i) apps[i].injectionRate = rates[i];
     for (std::size_t i : highApps) apps[i].injectionRate = u * soloSat[i];
-    const auto res = runScenario(mesh, regions, cfg, schemeRoRr(), apps);
+    const auto res = runScenario(ScenarioSpec(mesh, regions)
+                                     .withConfig(cfg)
+                                     .withScheme(schemeRoRr())
+                                     .withApps(std::move(apps)));
     if (!res.run.fullyDrained)
       return std::numeric_limits<double>::infinity();
     double sum = 0;

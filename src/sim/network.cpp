@@ -25,12 +25,20 @@ Network::Network(const Mesh& mesh, const RegionMap& regions,
   routers_.reserve(static_cast<size_t>(mesh.numNodes()));
   nics_.reserve(static_cast<size_t>(mesh.numNodes()));
   for (NodeId n = 0; n < mesh.numNodes(); ++n) {
-    routers_.push_back(std::make_unique<Router>(
-        n, regions.appOf(n), rc, mesh, *routing_, policy, *this));
-    nics_.push_back(std::make_unique<Nic>(n, regions.appOf(n), layout_,
-                                          config_.vcDepth, config_.atomicVcs));
+    routers_.emplace_back(n, regions.appOf(n), rc, mesh, *routing_, policy,
+                          *this);
+    nics_.emplace_back(n, regions.appOf(n), layout_, config_.vcDepth,
+                       config_.atomicVcs);
   }
   wire();
+  neighborTable_.assign(static_cast<size_t>(mesh.numNodes()) * 4, -1);
+  for (NodeId n = 0; n < mesh.numNodes(); ++n) {
+    for (Dir d : kRouterDirs) {
+      if (const auto nb = mesh.neighbor(n, d))
+        neighborTable_[static_cast<size_t>(n) * 4 +
+                       static_cast<size_t>(dirIdx(d))] = *nb;
+    }
+  }
   agg_.assign(static_cast<size_t>(mesh.numNodes()) * 4 *
                   static_cast<size_t>(maxHops_),
               0);
@@ -38,51 +46,69 @@ Network::Network(const Mesh& mesh, const RegionMap& regions,
 }
 
 void Network::wire() {
+  // Exact link count up front: the wiring below hands out pointers into
+  // links_, which must therefore never reallocate.
+  std::size_t numLinks = 0;
+  for (NodeId n = 0; n < mesh_->numNodes(); ++n) {
+    for (Dir d : kRouterDirs)
+      if (mesh_->neighbor(n, d)) ++numLinks;
+    numLinks += 2;  // NIC inject + eject
+  }
+  links_.reserve(numLinks);
+
   // Router-to-router links: one per directed edge (east/south owned to
   // avoid duplicates; the reverse direction gets its own link).
   for (NodeId n = 0; n < mesh_->numNodes(); ++n) {
     for (Dir d : kRouterDirs) {
       const auto nb = mesh_->neighbor(n, d);
       if (!nb) continue;
-      links_.push_back(std::make_unique<Link>(config_.linkLatency));
-      Link* link = links_.back().get();
-      routers_[static_cast<size_t>(n)]->connectOut(d, link);
-      routers_[static_cast<size_t>(*nb)]->connectIn(opposite(d), link);
+      links_.emplace_back(config_.linkLatency);
+      Link* link = &links_.back();
+      routers_[static_cast<size_t>(n)].connectOut(d, link);
+      routers_[static_cast<size_t>(*nb)].connectIn(opposite(d), link);
     }
     // NIC <-> router local-port links.
-    links_.push_back(std::make_unique<Link>(config_.linkLatency));
-    Link* inject = links_.back().get();
-    links_.push_back(std::make_unique<Link>(config_.linkLatency));
-    Link* eject = links_.back().get();
-    routers_[static_cast<size_t>(n)]->connectIn(Dir::Local, inject);
-    routers_[static_cast<size_t>(n)]->connectOut(Dir::Local, eject);
-    nics_[static_cast<size_t>(n)]->connect(inject, eject);
+    links_.emplace_back(config_.linkLatency);
+    Link* inject = &links_.back();
+    links_.emplace_back(config_.linkLatency);
+    Link* eject = &links_.back();
+    routers_[static_cast<size_t>(n)].connectIn(Dir::Local, inject);
+    routers_[static_cast<size_t>(n)].connectOut(Dir::Local, eject);
+    nics_[static_cast<size_t>(n)].connect(inject, eject);
   }
+  RAIR_CHECK(links_.size() == numLinks);
 }
 
 void Network::step(Cycle now) {
-  for (auto& nic : nics_) nic->tick(now);
-  for (auto& r : routers_) r->beginCycle(now);
-  for (auto& r : routers_) r->routeCompute(now);
-  for (auto& r : routers_) r->vcAllocate(now);
-  for (auto& r : routers_) r->switchAllocateAndTraverse(now);
-  for (auto& r : routers_) r->endCycle(now);
+  for (auto& nic : nics_) nic.tick(now);
+  for (auto& r : routers_) r.beginCycle(now);
+  for (auto& r : routers_) r.routeCompute(now);
+  for (auto& r : routers_) r.vcAllocate(now);
+  for (auto& r : routers_) r.switchAllocateAndTraverse(now);
+  for (auto& r : routers_) r.endCycle(now);
   propagateCongestion();
 }
 
 void Network::propagateCongestion() {
   std::swap(agg_, aggPrev_);
+  const std::size_t H = static_cast<std::size_t>(maxHops_);
   for (NodeId n = 0; n < mesh_->numNodes(); ++n) {
-    for (Dir d : kRouterDirs) {
-      const int di = dirIdx(d);
-      const int local = routers_[static_cast<size_t>(n)]->freeAdaptiveOutVcs(d);
-      aggAt(agg_, n, di, 0) = local;
-      const auto nb = mesh_->neighbor(n, d);
-      for (int h = 1; h < maxHops_; ++h) {
+    for (int di = 0; di < 4; ++di) {
+      const Dir d = static_cast<Dir>(di + 1);
+      const int local = routers_[static_cast<size_t>(n)].freeAdaptiveOutVcs(d);
+      int* out = &agg_[(static_cast<size_t>(n) * 4 +
+                        static_cast<size_t>(di)) * H];
+      out[0] = local;
+      const NodeId nb = neighborTable_[static_cast<size_t>(n) * 4 +
+                                       static_cast<size_t>(di)];
+      if (nb >= 0) {
         // h-hop info: local knowledge plus the neighbor's (h-1)-hop
         // aggregate from the previous cycle (1 hop/cycle wire delay).
-        aggAt(agg_, n, di, h) =
-            local + (nb ? aggAt(aggPrev_, *nb, di, h - 1) : 0);
+        const int* prev = &aggPrev_[(static_cast<size_t>(nb) * 4 +
+                                     static_cast<size_t>(di)) * H];
+        for (std::size_t h = 1; h < H; ++h) out[h] = local + prev[h - 1];
+      } else {
+        for (std::size_t h = 1; h < H; ++h) out[h] = local;
       }
     }
   }
@@ -90,22 +116,28 @@ void Network::propagateCongestion() {
 
 int Network::flitsMovedLastCycle() const {
   int total = 0;
-  for (const auto& r : routers_) total += r->flitsMovedLastCycle();
+  for (const auto& r : routers_) total += r.flitsMovedLastCycle();
+  return total;
+}
+
+std::uint64_t Network::totalFlitsTraversed() const {
+  std::uint64_t total = 0;
+  for (const auto& r : routers_) total += r.counters().flitsTraversed;
   return total;
 }
 
 bool Network::quiescent() const {
   for (const auto& r : routers_)
-    if (!r->quiescent()) return false;
+    if (!r.quiescent()) return false;
   for (const auto& n : nics_)
-    if (!n->quiescent()) return false;
+    if (!n.quiescent()) return false;
   for (const auto& l : links_)
-    if (!l->idle()) return false;
+    if (!l.idle()) return false;
   return true;
 }
 
 int Network::freeVcsThrough(NodeId n, Dir d) const {
-  return routers_[static_cast<size_t>(n)]->freeAdaptiveOutVcs(d);
+  return routers_[static_cast<size_t>(n)].freeAdaptiveOutVcs(d);
 }
 
 int Network::aggregatedFree(NodeId n, Dir d, int hops) const {

@@ -48,10 +48,10 @@ class Network final : public CongestionView {
   /// phases, then congestion-information propagation.
   void step(Cycle now);
 
-  Nic& nic(NodeId n) { return *nics_[static_cast<size_t>(n)]; }
-  Router& router(NodeId n) { return *routers_[static_cast<size_t>(n)]; }
+  Nic& nic(NodeId n) { return nics_[static_cast<size_t>(n)]; }
+  Router& router(NodeId n) { return routers_[static_cast<size_t>(n)]; }
   const Router& router(NodeId n) const {
-    return *routers_[static_cast<size_t>(n)];
+    return routers_[static_cast<size_t>(n)];
   }
   const Mesh& mesh() const { return *mesh_; }
   const VcLayout& layout() const { return layout_; }
@@ -59,6 +59,9 @@ class Network final : public CongestionView {
 
   /// Flits that traversed any switch in the last completed cycle.
   int flitsMovedLastCycle() const;
+
+  /// Cumulative switch traversals (flit-hops) summed over all routers.
+  std::uint64_t totalFlitsTraversed() const;
 
   /// True when every router, NIC and link holds no traffic.
   bool quiescent() const;
@@ -78,9 +81,18 @@ class Network final : public CongestionView {
   std::unique_ptr<RoutingAlgorithm> routing_;
   const ArbiterPolicy* policy_;
 
-  std::vector<std::unique_ptr<Router>> routers_;
-  std::vector<std::unique_ptr<Nic>> nics_;
-  std::vector<std::unique_ptr<Link>> links_;
+  // Contiguous element storage: the per-cycle phase loops stride through
+  // these directly instead of chasing one heap pointer per element. All
+  // three vectors are reserved to their exact final size before wiring, so
+  // the Link*/element pointers handed out during wire() stay valid.
+  std::vector<Router> routers_;
+  std::vector<Nic> nics_;
+  std::vector<Link> links_;
+
+  // Mesh adjacency flattened once at construction: [node][4 router dirs]
+  // -> neighbor id or -1. propagateCongestion runs every cycle and would
+  // otherwise recompute coordinate arithmetic per (node, dir).
+  std::vector<NodeId> neighborTable_;
 
   // Side-band congestion network. agg_[n][d][h] = sum of free adaptive VC
   // counts through port d over routers n, n+1d, ... n+hd (h+1 terms), with

@@ -12,7 +12,12 @@ Nic::Nic(NodeId node, AppId appTag, const VcLayout& layout, int routerVcDepth,
       vcDepth_(routerVcDepth),
       atomicVcs_(atomicVcs),
       credits_(static_cast<size_t>(layout.totalVcs()), routerVcDepth),
-      headHops_(static_cast<size_t>(layout.totalVcs()), 0) {}
+      headHops_(static_cast<size_t>(layout.totalVcs()), 0) {
+  // At most one stream per claimable VC; reserving here keeps the
+  // injection path allocation-free.
+  active_.reserve(static_cast<size_t>(layout.totalVcs()));
+  queues_.reserve(16);  // (class, app) pairs actually seen; grows if more
+}
 
 void Nic::connect(Link* toRouter, Link* fromRouter) {
   toRouter_ = toRouter;
@@ -77,19 +82,22 @@ void Nic::tick(Cycle now) {
   RAIR_CHECK_MSG(toRouter_ && fromRouter_, "NIC not connected");
 
   // Credits returned by the router's Local input port.
-  while (auto credit = toRouter_->recvCredit(now)) {
+  while (const CreditMsg* credit = toRouter_->peekCredit(now)) {
     auto& c = credits_[static_cast<size_t>(credit->vc)];
+    toRouter_->popCredit();
     ++c;
     RAIR_CHECK_MSG(c <= vcDepth_, "NIC credit overflow");
   }
 
   // Ejection: drain arriving flits, return credits immediately.
-  while (auto msg = fromRouter_->recvFlit(now)) {
-    fromRouter_->sendCredit(now, msg->vc);
-    const Flit& f = msg->flit;
-    if (isHead(f.type)) headHops_[static_cast<size_t>(msg->vc)] = f.hops;
-    if (isTail(f.type) && deliver_)
-      deliver_(f.pkt, now, headHops_[static_cast<size_t>(msg->vc)]);
+  while (const FlitMsg* msg = fromRouter_->peekFlit(now)) {
+    const int vc = msg->vc;
+    const Flit f = msg->flit;
+    fromRouter_->popFlit();
+    fromRouter_->sendCredit(now, vc);
+    if (isHead(f.type)) headHops_[static_cast<size_t>(vc)] = f.hops;
+    if (isTail(f.type) && events_)
+      events_->onDelivered(f.pkt, now, headHops_[static_cast<size_t>(vc)]);
   }
 
   // VC claims: round-robin over the per-(class, app) sub-queues so one
@@ -103,10 +111,9 @@ void Nic::tick(Cycle now) {
       if (vc < 0) continue;
       Stream s;
       s.pkt = q.packets.front();
-      s.flits = packetToFlits(s.pkt);
       s.vc = vc;
       q.packets.pop_front();
-      active_.push_back(std::move(s));
+      active_.push_back(s);
     }
     rrQueue_ = (rrQueue_ + 1) % nq;
   }
@@ -118,13 +125,13 @@ void Nic::tick(Cycle now) {
     const std::size_t idx = (rrNext_ + off) % n;
     Stream& s = active_[idx];
     if (credits_[static_cast<size_t>(s.vc)] <= 0) continue;
-    const Flit& f = s.flits[s.next];
+    const Flit f = makeFlit(s.pkt, s.next);
     toRouter_->sendFlit(now, f, s.vc);
     --credits_[static_cast<size_t>(s.vc)];
-    if (isHead(f.type) && injected_) injected_(s.pkt.id, now);
+    if (isHead(f.type) && events_) events_->onInjected(s.pkt.id, now);
     ++s.next;
     rrNext_ = (idx + 1) % n;
-    if (s.next == s.flits.size())
+    if (s.next == s.pkt.numFlits)
       active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(idx));
     break;
   }

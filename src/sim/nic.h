@@ -19,15 +19,27 @@
 // per flit immediately — the model of an always-ready receiving core.
 #pragma once
 
-#include <deque>
-#include <functional>
 #include <vector>
 
+#include "common/ring.h"
 #include "packet/packet.h"
 #include "router/link.h"
 #include "router/vc.h"
 
 namespace rair {
+
+/// Receiver of NIC lifecycle events. A plain interface instead of
+/// per-event std::function hooks: one indirect call on the hot path, no
+/// type-erased closure storage.
+class NicEvents {
+ public:
+  virtual ~NicEvents() = default;
+  /// Head flit first entered the network (left the NIC).
+  virtual void onInjected(PacketId id, Cycle injectCycle) = 0;
+  /// Tail flit delivered; `hops` is the hop count observed by the head.
+  virtual void onDelivered(PacketId id, Cycle ejectCycle,
+                           std::uint16_t hops) = 0;
+};
 
 class Nic {
  public:
@@ -47,15 +59,8 @@ class Nic {
   /// ejects arriving flits, injects at most one flit.
   void tick(Cycle now);
 
-  /// Invoked when a tail flit is delivered here. Receives the packet id,
-  /// delivery cycle and hop count observed by the head flit.
-  using DeliverFn =
-      std::function<void(PacketId, Cycle ejectCycle, std::uint16_t hops)>;
-  void setDeliverFn(DeliverFn fn) { deliver_ = std::move(fn); }
-
-  /// Invoked when a head flit first enters the network (left the NIC).
-  using InjectFn = std::function<void(PacketId, Cycle injectCycle)>;
-  void setInjectFn(InjectFn fn) { injected_ = std::move(fn); }
+  /// Registers the (single) event receiver; may be null to drop events.
+  void setEvents(NicEvents* events) { events_ = events; }
 
   NodeId node() const { return node_; }
   std::size_t queuedPackets() const;
@@ -64,8 +69,7 @@ class Nic {
  private:
   struct Stream {
     Packet pkt;
-    std::vector<Flit> flits;
-    std::uint16_t next = 0;  ///< next flit index to send
+    std::uint16_t next = 0;  ///< next flit index to send (makeFlit builds it)
     int vc = -1;             ///< claimed router-input VC
   };
 
@@ -76,7 +80,7 @@ class Nic {
   struct SubQueue {
     MsgClass cls;
     AppId app;
-    std::deque<Packet> packets;
+    RingQueue<Packet> packets;
   };
   SubQueue& subQueue(MsgClass cls, AppId app);
 
@@ -94,8 +98,7 @@ class Nic {
   std::vector<std::uint16_t> headHops_;  ///< hops of in-flight head per VC
   std::size_t rrNext_ = 0;       ///< round-robin over active_
   std::size_t rrQueue_ = 0;      ///< round-robin over queues_ for VC claims
-  DeliverFn deliver_;
-  InjectFn injected_;
+  NicEvents* events_ = nullptr;
 };
 
 }  // namespace rair

@@ -55,7 +55,10 @@ double appSaturationRate(const Mesh& mesh, const RegionMap& regions,
       apps[static_cast<size_t>(a)].injectionRate = 0.0;
     }
     apps[static_cast<size_t>(app.app)] = solo;
-    const auto res = runScenario(mesh, regions, cfg, scheme, apps);
+    const auto res = runScenario(ScenarioSpec(mesh, regions)
+                                     .withConfig(cfg)
+                                     .withScheme(scheme)
+                                     .withApps(std::move(apps)));
     if (!res.run.fullyDrained) {
       // Could not drain: far past saturation.
       return std::numeric_limits<double>::infinity();

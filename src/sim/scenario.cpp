@@ -1,34 +1,51 @@
 #include "sim/scenario.h"
 
+#include "common/assert.h"
+
 namespace rair {
 
-ScenarioResult runScenario(const Mesh& mesh, const RegionMap& regions,
-                           SimConfig cfg, const SchemeSpec& scheme,
-                           const std::vector<AppTrafficSpec>& apps,
-                           const ScenarioOptions& opts) {
-  const bool adversarial = opts.adversarialRate > 0.0;
+SimConfig ScenarioSpec::windowPreset(bool fast) {
+  SimConfig cfg;
+  if (fast) {
+    cfg.warmupCycles = 2'000;
+    cfg.measureCycles = 20'000;
+  } else {
+    cfg.warmupCycles = 10'000;
+    cfg.measureCycles = 100'000;
+  }
+  cfg.drainLimit = 500'000;
+  return cfg;
+}
+
+ScenarioResult runScenario(const ScenarioSpec& spec) {
+  RAIR_CHECK_MSG(spec.mesh != nullptr && spec.regions != nullptr,
+                 "ScenarioSpec without mesh/regions");
+  const bool adversarial = spec.adversarialRate > 0.0;
   const int numApps =
-      static_cast<int>(apps.size()) + (adversarial ? 1 : 0);
+      static_cast<int>(spec.apps.size()) + (adversarial ? 1 : 0);
 
   std::vector<double> intensities;
   intensities.reserve(static_cast<size_t>(numApps));
-  for (const auto& a : apps) intensities.push_back(a.injectionRate);
-  if (adversarial) intensities.push_back(opts.adversarialRate);
+  for (const auto& a : spec.apps) intensities.push_back(a.injectionRate);
+  if (adversarial) intensities.push_back(spec.adversarialRate);
 
-  cfg.routing = scheme.routing;
-  cfg.net.rairPartition = scheme.needsRairPartition();
+  SimConfig cfg = spec.config;
+  cfg.routing = spec.scheme.routing;
+  cfg.net.rairPartition = spec.scheme.needsRairPartition();
 
-  const auto policy = makePolicy(scheme, intensities);
-  Simulator sim(mesh, regions, cfg, *policy, numApps);
-  std::uint64_t seed = opts.seed;
-  for (const auto& a : apps) {
-    sim.addSource(
-        std::make_unique<RegionalizedSource>(mesh, regions, a, seed));
+  const auto policy = makePolicy(spec.scheme, intensities);
+  Simulator sim(*spec.mesh, *spec.regions, cfg, *policy, numApps);
+  std::uint64_t seed = spec.seed;
+  for (const auto& a : spec.apps) {
+    sim.addSource(std::make_unique<RegionalizedSource>(*spec.mesh,
+                                                       *spec.regions, a,
+                                                       seed));
     seed += 0x9E3779B9ull;
   }
   if (adversarial) {
     sim.addSource(std::make_unique<AdversarialSource>(
-        mesh, static_cast<AppId>(apps.size()), opts.adversarialRate, seed));
+        *spec.mesh, static_cast<AppId>(spec.apps.size()),
+        spec.adversarialRate, seed));
   }
 
   ScenarioResult out;
@@ -38,6 +55,18 @@ ScenarioResult runScenario(const Mesh& mesh, const RegionMap& regions,
   for (AppId a = 0; a < numApps; ++a)
     out.appApl[static_cast<size_t>(a)] = out.run.stats.appApl(a);
   return out;
+}
+
+ScenarioResult runScenario(const Mesh& mesh, const RegionMap& regions,
+                           SimConfig cfg, const SchemeSpec& scheme,
+                           const std::vector<AppTrafficSpec>& apps,
+                           const ScenarioOptions& opts) {
+  return runScenario(ScenarioSpec(mesh, regions)
+                         .withConfig(cfg)
+                         .withScheme(scheme)
+                         .withApps(apps)
+                         .withAdversarialRate(opts.adversarialRate)
+                         .withSeed(opts.seed));
 }
 
 }  // namespace rair

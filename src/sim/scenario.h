@@ -1,9 +1,19 @@
 // Scenario runner: assembles a simulator from a scheme spec and a set of
 // per-application traffic specs, runs it, and returns per-application APL
 // — the shape every figure in the paper reports.
+//
+// The entry point is a single ScenarioSpec value type with named-chaining
+// setters:
+//
+//   ScenarioResult r = runScenario(ScenarioSpec(mesh, regions)
+//                                      .withScheme(schemeRaRair())
+//                                      .withApps(apps)
+//                                      .withSeed(7)
+//                                      .withFastWindows());
 #pragma once
 
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "region/region_map.h"
@@ -20,15 +30,22 @@ struct ScenarioResult {
 
   /// Relative APL reduction of app `a` against a baseline result
   /// (positive = this scheme is faster). The paper's headline metric.
+  /// A non-positive baseline APL (e.g. a cell that terminated via
+  /// progress_timeout before measuring anything) yields 0 rather than a
+  /// division by zero.
   double reductionVs(const ScenarioResult& baseline, AppId a) const {
-    return 1.0 - appApl[static_cast<size_t>(a)] /
-                     baseline.appApl[static_cast<size_t>(a)];
+    const double base = baseline.appApl[static_cast<size_t>(a)];
+    if (!(base > 0.0)) return 0.0;
+    return 1.0 - appApl[static_cast<size_t>(a)] / base;
   }
   double meanReductionVs(const ScenarioResult& baseline) const {
+    if (!(baseline.meanApl > 0.0)) return 0.0;
     return 1.0 - meanApl / baseline.meanApl;
   }
 };
 
+/// Options of the legacy positional runScenario overload. New code sets
+/// the corresponding ScenarioSpec fields instead.
 struct ScenarioOptions {
   /// Chip-wide adversarial flood rate in flits/cycle/node (Fig. 17 uses
   /// 0.4); the flooder gets AppId = apps.size().
@@ -36,7 +53,67 @@ struct ScenarioOptions {
   std::uint64_t seed = 1;
 };
 
+/// Everything one scheme-on-one-workload run needs, as a single value
+/// type. The mesh and region map are referenced, not owned — they must
+/// outlive the spec.
+struct ScenarioSpec {
+  const Mesh* mesh = nullptr;
+  const RegionMap* regions = nullptr;
+  SimConfig config;
+  SchemeSpec scheme;
+  std::vector<AppTrafficSpec> apps;
+  /// Chip-wide adversarial flood rate in flits/cycle/node (Fig. 17 uses
+  /// 0.4); the flooder gets AppId = apps.size(). 0 disables it.
+  double adversarialRate = 0.0;
+  std::uint64_t seed = 1;
+
+  ScenarioSpec(const Mesh& m, const RegionMap& r) : mesh(&m), regions(&r) {}
+
+  /// The single source of truth for simulation windows: the paper's 10K
+  /// warmup / 100K measured (Sec. V.A), or 5x-shrunk fast windows for
+  /// smoke runs; both with a 500K drain limit.
+  static SimConfig windowPreset(bool fast);
+
+  // Named-chaining setters; each returns *this.
+  ScenarioSpec& withConfig(const SimConfig& c) {
+    config = c;
+    return *this;
+  }
+  ScenarioSpec& withScheme(const SchemeSpec& s) {
+    scheme = s;
+    return *this;
+  }
+  ScenarioSpec& withApps(std::vector<AppTrafficSpec> a) {
+    apps = std::move(a);
+    return *this;
+  }
+  ScenarioSpec& withAdversarialRate(double rate) {
+    adversarialRate = rate;
+    return *this;
+  }
+  ScenarioSpec& withSeed(std::uint64_t s) {
+    seed = s;
+    return *this;
+  }
+  /// Overwrites only the window fields of `config` (warmup, measure,
+  /// drain limit) with the preset, keeping network knobs intact.
+  ScenarioSpec& withWindows(bool fast) {
+    const SimConfig w = windowPreset(fast);
+    config.warmupCycles = w.warmupCycles;
+    config.measureCycles = w.measureCycles;
+    config.drainLimit = w.drainLimit;
+    return *this;
+  }
+  ScenarioSpec& withFastWindows() { return withWindows(true); }
+  ScenarioSpec& withPaperWindows() { return withWindows(false); }
+};
+
 /// Runs one scheme on one workload.
+ScenarioResult runScenario(const ScenarioSpec& spec);
+
+/// Legacy positional overload, kept for one release as a thin forward to
+/// the ScenarioSpec form.
+[[deprecated("assemble a ScenarioSpec and call runScenario(spec)")]]
 ScenarioResult runScenario(const Mesh& mesh, const RegionMap& regions,
                            SimConfig cfg, const SchemeSpec& scheme,
                            const std::vector<AppTrafficSpec>& apps,

@@ -31,17 +31,7 @@ Simulator::Simulator(const Mesh& mesh, const RegionMap& regions,
       net_(std::make_unique<Network>(mesh, regions, config.net,
                                      config.routing, policy)),
       stats_(numApps) {
-  for (NodeId n = 0; n < mesh.numNodes(); ++n) {
-    net_->nic(n).setDeliverFn(
-        [this](PacketId id, Cycle when, std::uint16_t hops) {
-          onDelivered(id, when, hops);
-        });
-    net_->nic(n).setInjectFn([this](PacketId id, Cycle when) {
-      auto it = ledger_.find(id);
-      RAIR_DCHECK(it != ledger_.end());
-      it->second.injectCycle = when;
-    });
-  }
+  for (NodeId n = 0; n < mesh.numNodes(); ++n) net_->nic(n).setEvents(this);
 }
 
 void Simulator::addSource(std::unique_ptr<TrafficSource> src) {
@@ -52,8 +42,7 @@ PacketId Simulator::createPacket(NodeId src, NodeId dst, AppId app,
                                  MsgClass cls, std::uint16_t numFlits) {
   RAIR_CHECK(mesh_->contains(src) && mesh_->contains(dst));
   RAIR_CHECK_MSG(src != dst, "self-addressed packet");
-  Packet p;
-  p.id = nextId_++;
+  Packet& p = ledger_.acquire();  // valid until the next pool operation
   p.src = src;
   p.dst = dst;
   p.app = app;
@@ -62,9 +51,9 @@ PacketId Simulator::createPacket(NodeId src, NodeId dst, AppId app,
   p.createCycle = now_;
   stats_.onPacketCreated(p);
   ++created_;
+  const PacketId id = p.id;
   net_->nic(src).enqueue(p);
-  ledger_.emplace(p.id, p);
-  return p.id;
+  return id;
 }
 
 void Simulator::injectAt(Cycle when, NodeId src, NodeId dst, AppId app,
@@ -73,10 +62,16 @@ void Simulator::injectAt(Cycle when, NodeId src, NodeId dst, AppId app,
   deferred_.push(Deferred{when, src, dst, app, cls, numFlits});
 }
 
+void Simulator::onInjected(PacketId id, Cycle when) {
+  ledger_.get(id).injectCycle = when;
+}
+
 void Simulator::onDelivered(PacketId id, Cycle when, std::uint16_t hops) {
-  auto it = ledger_.find(id);
-  RAIR_CHECK_MSG(it != ledger_.end(), "delivery of unknown packet");
-  Packet& p = it->second;
+  RAIR_CHECK_MSG(ledger_.isLive(id), "delivery of unknown packet");
+  // Copy out and release first: a delivery hook may create packets, which
+  // can grow the slab and would invalidate a reference into it.
+  Packet p = ledger_.get(id);
+  ledger_.release(id);
   p.ejectCycle = when;
   p.hops = hops;
   stats_.onPacketDelivered(p);
@@ -85,34 +80,43 @@ void Simulator::onDelivered(PacketId id, Cycle when, std::uint16_t hops) {
     measuredFlitsDelivered_ += p.numFlits;
   if (deliveryHook_) deliveryHook_(p, *this);
   if (deliveryObserver_) deliveryObserver_(p);
-  ledger_.erase(it);
+}
+
+void Simulator::begin() {
+  stats_.startMeasurement(config_.warmupCycles);
+  stats_.stopMeasurement(config_.warmupCycles + config_.measureCycles);
+}
+
+void Simulator::stepCycle() {
+  while (!deferred_.empty() && deferred_.top().when <= now_) {
+    const Deferred d = deferred_.top();
+    deferred_.pop();
+    createPacket(d.src, d.dst, d.app, d.cls, d.numFlits);
+  }
+  for (auto& src : sources_) src->tick(*this);
+  net_->step(now_);
+  ++now_;
 }
 
 RunResult Simulator::run() {
   const Cycle measureEnd = config_.warmupCycles + config_.measureCycles;
   const Cycle hardStop = measureEnd + config_.drainLimit;
-  stats_.startMeasurement(config_.warmupCycles);
-  stats_.stopMeasurement(measureEnd);
+  begin();
 
   Cycle lastProgress = 0;
   std::uint64_t lastDelivered = 0;
   bool drained = false;
   bool stalled = false;
 
-  for (now_ = 0; now_ < hardStop; ++now_) {
-    while (!deferred_.empty() && deferred_.top().when <= now_) {
-      const Deferred d = deferred_.top();
-      deferred_.pop();
-      createPacket(d.src, d.dst, d.app, d.cls, d.numFlits);
-    }
-    for (auto& src : sources_) src->tick(*this);
-    net_->step(now_);
+  while (now_ < hardStop) {
+    const Cycle cur = now_;
+    stepCycle();
 
     if (net_->flitsMovedLastCycle() > 0 || delivered_ != lastDelivered ||
         ledger_.empty()) {
-      lastProgress = now_;
+      lastProgress = cur;
       lastDelivered = delivered_;
-    } else if (now_ - lastProgress > config_.progressTimeout) {
+    } else if (cur - lastProgress > config_.progressTimeout) {
       // Deadlock/livelock tripwire. Reported as a structured outcome so a
       // batch driver (e.g. the campaign runner) can record the failure and
       // keep going instead of losing the whole process.
@@ -120,14 +124,14 @@ RunResult Simulator::run() {
                    "simulator: no forward progress for %" PRIu64
                    " cycles at cycle %" PRIu64 " with %zu packets in flight\n",
                    static_cast<std::uint64_t>(config_.progressTimeout),
-                   static_cast<std::uint64_t>(now_), ledger_.size());
+                   static_cast<std::uint64_t>(cur), ledger_.inFlight());
       stalled = true;
+      now_ = cur;  // report the cycle the tripwire fired on
       break;
     }
 
-    if (now_ + 1 >= measureEnd && stats_.measuredInFlight() == 0) {
+    if (cur + 1 >= measureEnd && stats_.measuredInFlight() == 0) {
       drained = true;
-      ++now_;
       break;
     }
   }
@@ -141,6 +145,7 @@ RunResult Simulator::run() {
                                      : Termination::DrainLimit);
   r.packetsCreated = created_;
   r.packetsDelivered = delivered_;
+  r.flitHops = net_->totalFlitsTraversed();
   r.deliveredFlitRate =
       static_cast<double>(measuredFlitsDelivered_) /
       (static_cast<double>(config_.measureCycles) * mesh_->numNodes());

@@ -9,12 +9,13 @@
 #include <optional>
 #include <queue>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "packet/pool.h"
 #include "policy/policy.h"
 #include "region/region_map.h"
 #include "sim/network.h"
+#include "sim/nic.h"
 #include "stats/stats.h"
 #include "traffic/source.h"
 
@@ -55,13 +56,14 @@ struct RunResult {
   Termination termination = Termination::DrainLimit;
   std::uint64_t packetsCreated = 0;
   std::uint64_t packetsDelivered = 0;
+  std::uint64_t flitHops = 0;  ///< switch traversals summed over routers
 
   /// Offered vs. accepted flit throughput over the measurement window
   /// (flits per cycle per node).
   double deliveredFlitRate = 0.0;
 };
 
-class Simulator final : public InjectionSink {
+class Simulator final : public InjectionSink, private NicEvents {
  public:
   /// @param numApps size of the per-app stats table; must cover every
   ///        AppId the sources use (which may exceed regions.numApps(),
@@ -94,6 +96,16 @@ class Simulator final : public InjectionSink {
   /// Runs warmup + measurement + drain; returns the collected results.
   RunResult run();
 
+  // --- Incremental driving (benches, allocation tests) -------------------
+  /// Opens the measurement windows. run() calls this itself; call it
+  /// directly only when driving the simulation with stepCycle().
+  void begin();
+  /// Advances one cycle: deferred injections, source ticks, network step.
+  /// No termination logic — callers own the loop.
+  void stepCycle();
+  /// Packets currently in flight (created, not yet delivered).
+  std::size_t inFlight() const { return ledger_.inFlight(); }
+
   // InjectionSink:
   PacketId createPacket(NodeId src, NodeId dst, AppId app, MsgClass cls,
                         std::uint16_t numFlits) override;
@@ -102,7 +114,9 @@ class Simulator final : public InjectionSink {
   Network& network() { return *net_; }
 
  private:
-  void onDelivered(PacketId id, Cycle when, std::uint16_t hops);
+  // NicEvents: every NIC reports into the simulator's ledger directly.
+  void onInjected(PacketId id, Cycle when) override;
+  void onDelivered(PacketId id, Cycle when, std::uint16_t hops) override;
 
   const Mesh* mesh_;
   SimConfig config_;
@@ -112,7 +126,7 @@ class Simulator final : public InjectionSink {
   DeliveryHook deliveryHook_;
   DeliveryObserver deliveryObserver_;
 
-  std::unordered_map<PacketId, Packet> ledger_;
+  PacketPool ledger_{4096};
   struct Deferred {
     Cycle when;
     NodeId src, dst;
@@ -125,7 +139,6 @@ class Simulator final : public InjectionSink {
       deferred_;
 
   Cycle now_ = 0;
-  PacketId nextId_ = 1;
   std::uint64_t created_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t measuredFlitsDelivered_ = 0;

@@ -41,9 +41,11 @@ CampaignSpec smallSpec() {
         apps[0].injectionRate = rate;
         apps[1].app = 1;
         apps[1].injectionRate = rate;
-        ScenarioOptions opts;
-        opts.seed = seed;
-        return runScenario(*mesh, *regions, cfg, scheme, apps, opts);
+        return runScenario(ScenarioSpec(*mesh, *regions)
+                               .withConfig(cfg)
+                               .withScheme(scheme)
+                               .withApps(std::move(apps))
+                               .withSeed(seed));
       };
       spec.add(std::move(cell));
     }
@@ -110,6 +112,17 @@ TEST(CellRecord, JsonRoundTrip) {
   // The canonical form drops the volatile wall time.
   EXPECT_EQ(rec.toJsonLine(false).find("wall_ms"), std::string::npos);
   EXPECT_NE(rec.toJsonLine(true).find("wall_ms"), std::string::npos);
+}
+
+TEST(CellRecord, ReductionAgainstEmptyBaselineIsZeroNotNan) {
+  CellRecord base, mine;
+  base.appApl = {0.0, 40.0};
+  base.meanApl = 0.0;
+  mine.appApl = {30.0, 36.0};
+  mine.meanApl = 33.0;
+  EXPECT_EQ(mine.reductionVs(base, 0), 0.0);
+  EXPECT_NEAR(mine.reductionVs(base, 1), 0.10, 1e-12);
+  EXPECT_EQ(mine.meanReductionVs(base), 0.0);
 }
 
 TEST(CellRecord, RejectsNonCellLines) {

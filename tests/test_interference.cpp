@@ -18,6 +18,19 @@ SimConfig cfg(Cycle measure = 10'000) {
   return c;
 }
 
+
+// All cells in this file share the short windows from cfg().
+ScenarioResult run(const Mesh& m, const RegionMap& rm,
+                   const SchemeSpec& scheme,
+                   const std::vector<AppTrafficSpec>& apps,
+                   double adversarialRate = 0.0) {
+  return runScenario(ScenarioSpec(m, rm)
+                         .withConfig(cfg())
+                         .withScheme(scheme)
+                         .withApps(apps)
+                         .withAdversarialRate(adversarialRate));
+}
+
 // Fixed loads standing in for "10% / 90% of saturation" (the benches
 // calibrate properly; see bench/fig09_msp.cpp).
 constexpr double kLowLoad = 0.04;
@@ -31,8 +44,8 @@ TEST(Interference, RairProtectsInterRegionTrafficFromHighLoadRegion) {
   const auto rm = RegionMap::halves(m);
   const auto apps = scenarios::twoAppInterRegion(0.8, kLowLoad, kHighLoad);
 
-  const auto rr = runScenario(m, rm, cfg(), schemeRoRr(), apps);
-  const auto rair = runScenario(m, rm, cfg(), schemeRaRair(), apps);
+  const auto rr = run(m, rm, schemeRoRr(), apps);
+  const auto rair = run(m, rm, schemeRaRair(), apps);
 
   const double app0Gain = rair.reductionVs(rr, 0);
   const double app1Loss = -rair.reductionVs(rr, 1);
@@ -47,9 +60,9 @@ TEST(Interference, MspAtVaAndSaBeatsVaOnly) {
   const auto rm = RegionMap::halves(m);
   const auto apps = scenarios::twoAppInterRegion(1.0, kLowLoad, kHighLoad);
 
-  const auto rr = runScenario(m, rm, cfg(), schemeRoRr(), apps);
-  const auto va = runScenario(m, rm, cfg(), schemeRairVaOnly(), apps);
-  const auto vasa = runScenario(m, rm, cfg(), schemeRaRair(), apps);
+  const auto rr = run(m, rm, schemeRoRr(), apps);
+  const auto va = run(m, rm, schemeRairVaOnly(), apps);
+  const auto vasa = run(m, rm, schemeRaRair(), apps);
 
   EXPECT_GT(va.reductionVs(rr, 0), 0.0);
   EXPECT_GE(vasa.reductionVs(rr, 0), va.reductionVs(rr, 0) - 0.02);
@@ -71,20 +84,16 @@ TEST(Interference, StaticPrioritiesEachFailOneScenario) {
   };
 
   // Scenario (a): the critical packets are Apps 0-2's foreign traffic.
-  const auto aForeign =
-      runScenario(m, rm, cfg(), schemeRairForeignHigh(), scenA);
-  const auto aNative =
-      runScenario(m, rm, cfg(), schemeRairNativeHigh(), scenA);
-  const auto aDpa = runScenario(m, rm, cfg(), schemeRaRair(), scenA);
+  const auto aForeign = run(m, rm, schemeRairForeignHigh(), scenA);
+  const auto aNative = run(m, rm, schemeRairNativeHigh(), scenA);
+  const auto aDpa = run(m, rm, schemeRaRair(), scenA);
   EXPECT_LT(meanLowApps(aForeign), meanLowApps(aNative));
   EXPECT_LT(meanLowApps(aDpa), meanLowApps(aNative) * 1.02);
 
   // Scenario (b): the critical packets are Apps 0-2's native traffic.
-  const auto bForeign =
-      runScenario(m, rm, cfg(), schemeRairForeignHigh(), scenB);
-  const auto bNative =
-      runScenario(m, rm, cfg(), schemeRairNativeHigh(), scenB);
-  const auto bDpa = runScenario(m, rm, cfg(), schemeRaRair(), scenB);
+  const auto bForeign = run(m, rm, schemeRairForeignHigh(), scenB);
+  const auto bNative = run(m, rm, schemeRairNativeHigh(), scenB);
+  const auto bDpa = run(m, rm, schemeRaRair(), scenB);
   EXPECT_LT(meanLowApps(bNative), meanLowApps(bForeign));
   EXPECT_LT(meanLowApps(bDpa), meanLowApps(bForeign) * 1.02);
 }
@@ -104,17 +113,16 @@ TEST(Interference, RairLimitsAdversarialSlowdown) {
   // The paper floods at 0.4 flits/cycle/node, ~80% of its network's
   // saturation throughput; our substrate saturates at ~0.36 for chip-wide
   // UR, so the equivalent flood is ~0.3 (bench/fig17 calibrates exactly).
-  ScenarioOptions attack;
-  attack.adversarialRate = 0.30;
+  constexpr double kAttackRate = 0.30;
 
   auto meanApps = [](const ScenarioResult& r) {
     return (r.appApl[0] + r.appApl[1] + r.appApl[2] + r.appApl[3]) / 4.0;
   };
 
-  const auto rrBase = runScenario(m, rm, cfg(), schemeRoRr(), apps);
-  const auto rrAtk = runScenario(m, rm, cfg(), schemeRoRr(), apps, attack);
-  const auto raBase = runScenario(m, rm, cfg(), schemeRaRair(), apps);
-  const auto raAtk = runScenario(m, rm, cfg(), schemeRaRair(), apps, attack);
+  const auto rrBase = run(m, rm, schemeRoRr(), apps);
+  const auto rrAtk = run(m, rm, schemeRoRr(), apps, kAttackRate);
+  const auto raBase = run(m, rm, schemeRaRair(), apps);
+  const auto raAtk = run(m, rm, schemeRaRair(), apps, kAttackRate);
 
   const double rrSlowdown = meanApps(rrAtk) / meanApps(rrBase);
   const double raSlowdown = meanApps(raAtk) / meanApps(raBase);
@@ -131,9 +139,8 @@ TEST(Interference, DbarRoutingComposesWithRair) {
   const auto rm = RegionMap::halves(m);
   const auto apps = scenarios::twoAppInterRegion(1.0, kLowLoad, kHighLoad);
 
-  const auto rrLocal = runScenario(m, rm, cfg(), schemeRoRr(), apps);
-  const auto rairDbar =
-      runScenario(m, rm, cfg(), schemeRaRair(RoutingKind::Dbar), apps);
+  const auto rrLocal = run(m, rm, schemeRoRr(), apps);
+  const auto rairDbar = run(m, rm, schemeRaRair(RoutingKind::Dbar), apps);
   EXPECT_GT(rairDbar.reductionVs(rrLocal, 0), 0.05);
 }
 

@@ -1,0 +1,94 @@
+#include "packet/pool.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rair {
+namespace {
+
+TEST(PacketPool, AcquireAssignsDistinctLiveIds) {
+  PacketPool pool(4);
+  Packet& a = pool.acquire();
+  Packet& b = pool.acquire();
+  EXPECT_NE(a.id, b.id);
+  EXPECT_EQ(pool.inFlight(), 2u);
+  EXPECT_TRUE(pool.find(a.id) != nullptr);
+  EXPECT_TRUE(pool.find(b.id) != nullptr);
+}
+
+TEST(PacketPool, ReleaseThenAcquireReusesSlotWithNewGeneration) {
+  PacketPool pool(4);
+  Packet& a = pool.acquire();
+  const PacketId first = a.id;
+  pool.release(first);
+  EXPECT_EQ(pool.inFlight(), 0u);
+
+  Packet& b = pool.acquire();
+  // LIFO free list: the same slot comes back, under a fresh generation,
+  // so the stale id no longer resolves.
+  EXPECT_EQ(PacketPool::slotOf(b.id), PacketPool::slotOf(first));
+  EXPECT_NE(PacketPool::generationOf(b.id), PacketPool::generationOf(first));
+  EXPECT_EQ(pool.find(first), nullptr);
+  EXPECT_NE(pool.find(b.id), nullptr);
+}
+
+TEST(PacketPool, AcquireResetsRecycledSlotState) {
+  PacketPool pool(2);
+  Packet& a = pool.acquire();
+  a.src = 42;
+  a.numFlits = 9;
+  a.injectCycle = 1234;
+  pool.release(a.id);
+  Packet& b = pool.acquire();
+  EXPECT_EQ(b.src, kInvalidNode);
+  EXPECT_EQ(b.numFlits, 1);
+  EXPECT_EQ(b.injectCycle, kNeverCycle);
+}
+
+TEST(PacketPool, GrowsBeyondInitialReservation) {
+  PacketPool pool(2);
+  std::vector<PacketId> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(pool.acquire().id);
+  EXPECT_EQ(pool.inFlight(), 100u);
+  EXPECT_GE(pool.capacity(), 100u);
+  for (const PacketId id : ids) {
+    ASSERT_NE(pool.find(id), nullptr);
+    pool.release(id);
+  }
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(PacketPool, SteadyChurnDoesNotGrowCapacity) {
+  // Release/acquire churn at constant occupancy must recycle slots
+  // instead of growing the slab — the allocation-free steady state the
+  // simulator relies on.
+  PacketPool pool(8);
+  std::vector<PacketId> live;
+  for (int i = 0; i < 8; ++i) live.push_back(pool.acquire().id);
+  for (int round = 0; round < 1000; ++round) {
+    const std::size_t at = static_cast<std::size_t>(round) % live.size();
+    pool.release(live[at]);
+    live[at] = pool.acquire().id;
+  }
+  EXPECT_EQ(pool.capacity(), 8u);
+  EXPECT_EQ(pool.inFlight(), 8u);
+}
+
+TEST(PacketPool, MaxLiveBoundIsEnforced) {
+  PacketPool pool(2, /*maxLive=*/3);
+  pool.acquire();
+  pool.acquire();
+  pool.acquire();
+  EXPECT_DEATH(pool.acquire(), "");
+}
+
+TEST(PacketPool, GetOnStaleIdDies) {
+  PacketPool pool(2);
+  const PacketId id = pool.acquire().id;
+  pool.release(id);
+  EXPECT_DEATH(pool.get(id), "");
+}
+
+}  // namespace
+}  // namespace rair

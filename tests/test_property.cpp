@@ -66,7 +66,10 @@ TEST_P(SchemeSweep, InvariantsHold) {
   const auto rm = RegionMap::halves(m);
   const auto apps = scenarios::twoAppInterRegion(0.5, 0.05, 0.20);
   const auto scheme = schemeFor(policy, routing);
-  const auto r = runScenario(m, rm, sweepCfg(), scheme, apps);
+  const auto r = runScenario(ScenarioSpec(m, rm)
+                                 .withConfig(sweepCfg())
+                                 .withScheme(scheme)
+                                 .withApps(apps));
   checkInvariants(r, scheme.label.c_str());
 }
 
@@ -76,8 +79,12 @@ TEST_P(SchemeSweep, Deterministic) {
   const auto rm = RegionMap::halves(m);
   const auto apps = scenarios::twoAppInterRegion(0.3, 0.05, 0.15);
   const auto scheme = schemeFor(policy, routing);
-  const auto r1 = runScenario(m, rm, sweepCfg(), scheme, apps);
-  const auto r2 = runScenario(m, rm, sweepCfg(), scheme, apps);
+  const ScenarioSpec spec = ScenarioSpec(m, rm)
+                                .withConfig(sweepCfg())
+                                .withScheme(scheme)
+                                .withApps(apps);
+  const auto r1 = runScenario(spec);
+  const auto r2 = runScenario(spec);
   EXPECT_DOUBLE_EQ(r1.meanApl, r2.meanApl) << scheme.label;
   EXPECT_EQ(r1.run.packetsCreated, r2.run.packetsCreated) << scheme.label;
 }
@@ -122,7 +129,10 @@ TEST_P(PatternSweep, InvariantsHold) {
   const auto rm = RegionMap::sixRegions(m);
   std::vector<double> rates(6, load);
   const auto apps = scenarios::sixAppMixed(pattern, rates);
-  const auto r = runScenario(m, rm, sweepCfg(), schemeRaRair(), apps);
+  const auto r = runScenario(ScenarioSpec(m, rm)
+                                 .withConfig(sweepCfg())
+                                 .withScheme(schemeRaRair())
+                                 .withApps(apps));
   checkInvariants(r, patternName(pattern));
   for (AppId a = 0; a < 6; ++a)
     EXPECT_GT(r.appApl[static_cast<size_t>(a)], 0.0);
@@ -151,9 +161,11 @@ TEST_P(SeedSweep, AplWithinBandAcrossSeeds) {
   Mesh m(8, 8);
   const auto rm = RegionMap::halves(m);
   const auto apps = scenarios::twoAppInterRegion(0.4, 0.05, 0.18);
-  ScenarioOptions opts;
-  opts.seed = GetParam();
-  const auto r = runScenario(m, rm, sweepCfg(), schemeRoRr(), apps, opts);
+  const auto r = runScenario(ScenarioSpec(m, rm)
+                                 .withConfig(sweepCfg())
+                                 .withScheme(schemeRoRr())
+                                 .withApps(apps)
+                                 .withSeed(GetParam()));
   checkInvariants(r, "seed sweep");
   // APL at these fixed loads is tightly concentrated; a run falling far
   // outside this band indicates a seeding or measurement bug.

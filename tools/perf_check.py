@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Compare a core_hotpath benchmark run against the checked-in baseline.
+
+Usage:
+    perf_check.py --baseline BENCH_core_hotpath.json --current run.json \
+                  [--max-regression 0.25] [--metric cycles_per_sec]
+
+Both files are google-benchmark JSON (--benchmark_format=json). The check
+fails (exit 1) when any benchmark present in both files regresses by more
+than --max-regression on the chosen rate metric (higher is better). New or
+removed benchmarks are reported but do not fail the check; regenerate the
+baseline when the suite changes intentionally.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path, metric):
+    with open(path) as fh:
+        data = json.load(fh)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        if metric not in bench:
+            sys.exit(f"perf_check: {path}: benchmark {name!r} has no "
+                     f"{metric!r} counter")
+        out[name] = float(bench[metric])
+    if not out:
+        sys.exit(f"perf_check: {path}: no benchmarks found")
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--max-regression", type=float, default=0.25,
+                    help="maximum tolerated fractional slowdown per "
+                         "benchmark (default 0.25 = 25%%)")
+    ap.add_argument("--metric", default="cycles_per_sec",
+                    help="rate counter to compare, higher is better "
+                         "(default cycles_per_sec)")
+    args = ap.parse_args()
+
+    base = load_metrics(args.baseline, args.metric)
+    cur = load_metrics(args.current, args.metric)
+
+    failures = []
+    for name in sorted(base):
+        if name not in cur:
+            print(f"  MISSING  {name} (in baseline only)")
+            continue
+        b, c = base[name], cur[name]
+        ratio = c / b if b > 0 else float("inf")
+        status = "ok"
+        if ratio < 1.0 - args.max_regression:
+            status = "REGRESSION"
+            failures.append(name)
+        print(f"  {status:>10}  {name}: {args.metric} {c:,.0f} vs "
+              f"baseline {b:,.0f} ({ratio:.2f}x)")
+    for name in sorted(set(cur) - set(base)):
+        print(f"       NEW  {name} (not in baseline)")
+
+    if failures:
+        print(f"perf_check: {len(failures)} benchmark(s) regressed more "
+              f"than {args.max_regression:.0%} on {args.metric}")
+        return 1
+    print("perf_check: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
