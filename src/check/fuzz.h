@@ -1,0 +1,120 @@
+// Property-based fuzzing of the simulator under the oracle (src/check/).
+//
+// Each case seed deterministically expands into a small random scenario —
+// mesh size, region grid, VC layout and depth, link latency, per-app loads
+// deliberately pushed past saturation, optional adversarial flooder — that
+// runs to *complete drain* with the oracle armed in collecting mode:
+// sources are gated off after a cutoff cycle, then every in-flight packet
+// must reach its destination, which turns flit conservation into an
+// end-to-end property instead of a sampled one.
+//
+// A failing case reports its seed (sufficient to regenerate it bit-exactly)
+// and is shrunk by re-running mutated variants that keep failing: fewer
+// cycles, no flooder, one message class, minimal VCs, unit link latency,
+// fewer regions.
+//
+// The harness can also turn on deliberate fault injection (one credit
+// dropped on a random link via Router::debugDropCredit) to prove the oracle
+// actually catches corruption — the self-test mode of tools/rair_fuzz.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/oracle.h"
+#include "sim/scheme.h"
+#include "traffic/generator.h"
+
+namespace rair::check {
+
+/// Fully-expanded parameters of one fuzz case. Value type so the shrinker
+/// can mutate copies freely.
+struct FuzzCase {
+  int meshW = 4;
+  int meshH = 4;
+  int regionsX = 2;  ///< region block grid (apps = regionsX * regionsY)
+  int regionsY = 2;
+  int numClasses = 1;
+  int vcsPerClass = 3;
+  int globalVcsPerClass = -1;
+  int vcDepth = 4;
+  bool atomicVcs = true;
+  Cycle linkLatency = 1;
+  Cycle sourceCycles = 600;  ///< injection window; sources gate off after
+  double adversarialRate = 0.0;
+  std::vector<AppTrafficSpec> apps;
+  std::uint64_t simSeed = 1;  ///< seed of the traffic RNGs
+
+  /// One-line parameter summary for failure reports.
+  std::string describe() const;
+};
+
+/// Deterministically expands `caseSeed` into a case; the whole scenario is
+/// reproducible from this one value.
+FuzzCase generateCase(std::uint64_t caseSeed);
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;  ///< base seed; case i uses splitmix(seed, i)
+  int scenarios = 100;
+  /// Scheme matrix every case runs under; empty selects
+  /// defaultFuzzSchemes() (RO_RR + RA_RAIR).
+  std::vector<SchemeSpec> schemes;
+  Cycle period = 1;  ///< oracle structural/census scan cadence
+  Cycle deadlockPeriod = 64;
+  /// Starvation watchdog bound on in-network age. Generous relative to the
+  /// tiny meshes fuzzed here: anything beyond it is a livelock, not load.
+  Cycle maxInNetworkAge = 20'000;
+  /// Cycles after the injection cutoff before failing to drain is itself a
+  /// violation (lost or stuck traffic).
+  Cycle drainBudget = 60'000;
+  bool injectFault = false;  ///< self-test: drop one credit per case
+  bool shrink = true;        ///< shrink failing cases (off in fault mode)
+};
+
+struct FuzzCaseResult {
+  std::uint64_t caseSeed = 0;
+  std::string scheme;
+  bool drained = false;
+  bool faultInjected = false;  ///< a credit was actually dropped
+  OracleReport report;
+  FuzzCase shrunk;  ///< smallest still-failing variant (== original params
+                    ///< when shrinking is off or never reduced)
+  bool wasShrunk = false;
+
+  /// A case fails when the oracle saw a violation or traffic never
+  /// drained. In fault-injection mode a *passing* self-test is a case that
+  /// fails here (the corruption was caught).
+  bool failed() const { return !report.ok() || !drained; }
+};
+
+struct FuzzSummary {
+  std::uint64_t baseSeed = 0;
+  int casesRun = 0;  ///< case x scheme executions
+  int failures = 0;
+  /// Fault-mode only: injections the oracle missed (must stay 0).
+  int faultsMissed = 0;
+  /// Fault-mode only: cases where no credit could be dropped (idle net).
+  int faultsSkipped = 0;
+  std::vector<FuzzCaseResult> failed;  ///< capped at 32 entries
+};
+
+/// Per-execution progress callback (index over case x scheme runs).
+using FuzzProgress = std::function<void(int index, const FuzzCaseResult&)>;
+
+/// Runs the full campaign: `scenarios` generated cases, each under every
+/// scheme of the matrix.
+FuzzSummary runFuzz(const FuzzOptions& opts, const FuzzProgress& progress = {});
+
+/// Reruns one case seed under the full scheme matrix (the repro path).
+std::vector<FuzzCaseResult> runFuzzSeed(std::uint64_t caseSeed,
+                                        const FuzzOptions& opts);
+
+/// The default scheme matrix: RO_RR and RA_RAIR on local-adaptive routing.
+std::vector<SchemeSpec> defaultFuzzSchemes();
+
+/// Wider matrix for exhaustive runs: adds XY routing, RO_Rank and RA_DBAR.
+std::vector<SchemeSpec> allFuzzSchemes();
+
+}  // namespace rair::check

@@ -1,0 +1,162 @@
+// The simulation oracle: a machine-checked safety net over the router
+// pipeline and network state.
+//
+// The simulator is a measurement instrument; a silently-corrupted router
+// state produces wrong latency numbers, not a crash. The oracle is a pure
+// observer that re-derives, from first principles, the invariants the
+// paper's correctness claims rest on, and compares them against the live
+// network every cycle (or every `period` cycles):
+//
+//   1. Flit conservation — every flit found anywhere in the network
+//      belongs to a live ledger packet, matches its packet's metadata,
+//      appears at most once, and the in-network flits of a packet always
+//      form a contiguous, monotonically advancing seq window (wormhole
+//      ordering: head, bodies, tail, never reordered or duplicated).
+//      A live injected packet with no flits anywhere is a lost packet.
+//   2. Credit/buffer consistency — for every (link, VC):
+//      upstream credits + flits in flight + credits in flight +
+//      downstream buffer occupancy == VC depth, exactly. Buffers never
+//      exceed depth, credit counters never leave [0, depth].
+//   3. VC state-machine legality — input VC states agree with buffer
+//      contents and the output-VC ownership bijection; the incremental
+//      occupancy/free-VC/pipeline-state counters and bitmasks of the
+//      hot path agree with a full recomputation; allocated output VCs
+//      keep their owner until freed; with period == 1, state transitions
+//      follow IDLE -> ROUTING -> WAITING_VA -> ACTIVE -> IDLE.
+//   4. Deadlock detection — a periodic channel-wait-graph scan over
+//      definitely-blocked VCs (Active, non-empty, zero credits); any
+//      cycle is a genuine credit deadlock, which Duato escape VCs must
+//      make impossible.
+//   5. Starvation watchdog — no injected packet may stay in the network
+//      beyond a configurable age bound; this is the observable form of
+//      DPA's negative-feedback starvation-freedom guarantee.
+//
+// The oracle never mutates simulation state and consumes no randomness, so
+// an armed run is bit-identical to an unarmed one. Configure with
+// -DRAIR_CHECKS=ON to arm it automatically inside every runScenario();
+// with the option off no oracle code is reachable from the hot path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "packet/pool.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace rair::check {
+
+struct OracleOptions {
+  /// Cadence of the structural + census scans; 1 = every cycle (fuzzing),
+  /// larger amortizes the scan for always-on use. The invariants checked
+  /// are persistent (a corruption stays visible), so a coarser period
+  /// delays detection but does not lose it — except the exact transition
+  /// check, which needs consecutive snapshots and only runs at period 1.
+  Cycle period = 1;
+  /// Cadence of the channel-wait-graph deadlock scan.
+  Cycle deadlockPeriod = 64;
+  /// Maximum cycles a packet may spend in the network (injection to
+  /// delivery) before the starvation watchdog fails. 0 disables it.
+  Cycle maxInNetworkAge = 0;
+  /// Stop recording after this many violations (the report notes the
+  /// truncation). The first violation is what matters for a repro.
+  std::size_t maxViolations = 16;
+  /// Abort the process on the first violation (the armed-simulation
+  /// contract: fail loudly, like RAIR_CHECK). When false, violations are
+  /// collected for the caller — the fuzz driver's mode.
+  bool failFast = false;
+
+  /// Defaults for the always-on RAIR_CHECKS build: amortized scans, hard
+  /// failure. The age watchdog stays off — legitimate saturation runs
+  /// have no universal age bound; the fuzz harness sets one per scenario.
+  static OracleOptions armed() {
+    OracleOptions o;
+    o.period = 16;
+    o.deadlockPeriod = 256;
+    o.failFast = true;
+    return o;
+  }
+};
+
+struct OracleViolation {
+  Cycle cycle = 0;
+  std::string what;
+};
+
+struct OracleReport {
+  std::vector<OracleViolation> violations;
+  bool truncated = false;        ///< hit maxViolations; more were suppressed
+  std::uint64_t scans = 0;        ///< structural + census scans performed
+  std::uint64_t deadlockScans = 0;
+  bool ok() const { return violations.empty(); }
+  /// First violation (or "ok") as a one-line summary.
+  std::string summary() const;
+};
+
+/// Pure observer over one Network + packet ledger. Drive it either through
+/// Simulator::setObserver (the RAIR_CHECKS auto-arm path) or by calling
+/// onCycleEnd() manually after each Network::step().
+class NetworkOracle final : public SimObserver {
+ public:
+  NetworkOracle(const Network& net, const PacketPool& ledger,
+                OracleOptions options);
+
+  // SimObserver:
+  void onCycleEnd(Cycle now) override;
+  void onPacketDelivered(const Packet& p) override;
+
+  /// End-of-run checks: one final full scan, plus ledger-vs-network
+  /// agreement (a drained ledger requires an empty network).
+  void finish(Cycle now);
+
+  const OracleReport& report() const { return report_; }
+
+  /// Forces a full scan now regardless of cadence (tests).
+  void scanNow(Cycle now);
+
+ private:
+  struct SeqWindow {
+    std::uint16_t minSeq = 0;
+    std::uint16_t maxSeq = 0;
+  };
+  struct CensusEntry {
+    std::uint64_t seqMask = 0;
+    int count = 0;
+    std::uint16_t pktFlits = 1;
+  };
+
+  void violation(Cycle now, std::string what);
+
+  void structuralScan(Cycle now);
+  void scanRouter(Cycle now, NodeId n);
+  void scanNic(Cycle now, NodeId n);
+  void creditEquations(Cycle now, NodeId n);
+  void censusScan(Cycle now);
+  void deadlockScan(Cycle now);
+  void starvationScan(Cycle now);
+
+  const Network* net_;
+  const PacketPool* ledger_;
+  OracleOptions opt_;
+  OracleReport report_;
+
+  // Census scratch + persistent per-packet seq windows (pruned at
+  // delivery and lazily when a packet is no longer live).
+  std::unordered_map<PacketId, CensusEntry> census_;
+  std::unordered_map<PacketId, SeqWindow> windows_;
+  std::unordered_set<PacketId> streaming_;  ///< packets mid-injection at a NIC
+  std::unordered_set<PacketId> reportedStarved_;
+
+  // Previous-scan snapshots for transition/ownership checks. Only
+  // meaningful when scans run on consecutive cycles (period 1); the
+  // prevCycle_ guard makes sparse or repeated scans skip the check.
+  bool havePrev_ = false;
+  Cycle prevCycle_ = 0;
+  std::vector<std::uint8_t> prevState_;  ///< input VC states, flattened
+  std::vector<std::int16_t> prevOwner_;  ///< output VC owner flat id; -1 free
+};
+
+}  // namespace rair::check

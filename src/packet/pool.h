@@ -61,6 +61,14 @@ class PacketPool {
   bool empty() const { return live_ == 0; }
   std::size_t capacity() const { return slots_.size(); }
 
+  /// Invokes `fn(const Packet&)` for every live packet, in slot order.
+  /// The callback must not mutate the pool.
+  template <typename F>
+  void forEachLive(F&& fn) const {
+    for (const Slot& s : slots_)
+      if (s.live) fn(s.pkt);
+  }
+
  private:
   struct Slot {
     Packet pkt;

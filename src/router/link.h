@@ -59,6 +59,10 @@ class DelayPipe {
   bool empty() const { return q_.empty(); }
   std::size_t size() const { return q_.size(); }
 
+  /// Read-only view of queued element `i` (0 = front) with its arrival
+  /// cycle — introspection for the simulation oracle and tests.
+  const std::pair<Cycle, T>& entry(std::size_t i) const { return q_[i]; }
+
  private:
   Cycle latency_;
   RingQueue<std::pair<Cycle, T>> q_;
@@ -97,6 +101,11 @@ class Link {
   void sendCredit(Cycle now, int vc) { credits_.push(now, CreditMsg{vc}); }
 
   bool idle() const { return data_.empty() && credits_.empty(); }
+
+  /// Read-only pipe views — introspection for the simulation oracle
+  /// (flit census, credit round-trip accounting) and tests.
+  const DelayPipe<FlitMsg>& flitPipe() const { return data_; }
+  const DelayPipe<CreditMsg>& creditPipe() const { return credits_; }
 
  private:
   DelayPipe<FlitMsg> data_;

@@ -43,6 +43,17 @@ Router::Router(NodeId id, AppId appTag, const RouterConfig& config,
 void Router::connectIn(Dir p, Link* link) { inLinks_[portIdx(p)] = link; }
 void Router::connectOut(Dir p, Link* link) { outLinks_[portIdx(p)] = link; }
 
+bool Router::debugDropCredit(Dir p, int vc) {
+  const int port = portIdx(p);
+  if (outLinks_[static_cast<size_t>(port)] == nullptr) return false;
+  OutputVc& o = outVc(port, vc);
+  if (o.credits <= 0) return false;
+  const bool wasFree = countsAsFree(o, vc);
+  --o.credits;
+  noteOutVcFreeChange(port, vc, wasFree);
+  return true;
+}
+
 bool Router::outVcAvailable(int port, int vc, int flitsNeeded) const {
   if (outLinks_[static_cast<size_t>(port)] == nullptr) return false;
   const OutputVc& o = outVc(port, vc);

@@ -35,6 +35,10 @@
 
 namespace rair {
 
+namespace check {
+class NetworkOracle;  // read-only auditor of router internals (src/check/)
+}
+
 /// Cumulative per-router event counters (cheap; always collected). Useful
 /// for validating arbitration behaviour and for diagnosing DPA decisions.
 struct RouterCounters {
@@ -122,7 +126,17 @@ class Router {
 
   const PolicyState* policyState() const { return policyState_.get(); }
 
+  /// Test hook for oracle validation: discards one credit of output VC
+  /// (p, vc) as if the upstream credit message had been lost on the wire.
+  /// The router's own incremental bookkeeping is kept consistent (as real
+  /// hardware would — it cannot know a credit was lost), so only the
+  /// cross-link credit-conservation invariant breaks, which is exactly
+  /// what the simulation oracle must detect. Returns false when the port
+  /// is unconnected or no credit is outstanding to drop.
+  bool debugDropCredit(Dir p, int vc);
+
  private:
+  friend class check::NetworkOracle;
   struct InputVc {
     VcState state = VcState::Idle;
     RingQueue<Flit> buf;  ///< ring sized to vcDepth; allocation-free

@@ -49,11 +49,13 @@ class Network final : public CongestionView {
   void step(Cycle now);
 
   Nic& nic(NodeId n) { return nics_[static_cast<size_t>(n)]; }
+  const Nic& nic(NodeId n) const { return nics_[static_cast<size_t>(n)]; }
   Router& router(NodeId n) { return routers_[static_cast<size_t>(n)]; }
   const Router& router(NodeId n) const {
     return routers_[static_cast<size_t>(n)];
   }
   const Mesh& mesh() const { return *mesh_; }
+  const NetworkConfig& config() const { return config_; }
   const VcLayout& layout() const { return layout_; }
   const RoutingAlgorithm& routing() const { return *routing_; }
 

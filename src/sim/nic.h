@@ -28,6 +28,10 @@
 
 namespace rair {
 
+namespace check {
+class NetworkOracle;  // read-only auditor of NIC internals (src/check/)
+}
+
 /// Receiver of NIC lifecycle events. A plain interface instead of
 /// per-event std::function hooks: one indirect call on the hot path, no
 /// type-erased closure storage.
@@ -67,6 +71,8 @@ class Nic {
   bool quiescent() const;
 
  private:
+  friend class check::NetworkOracle;
+
   struct Stream {
     Packet pkt;
     std::uint16_t next = 0;  ///< next flit index to send (makeFlit builds it)

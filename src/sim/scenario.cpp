@@ -2,6 +2,10 @@
 
 #include "common/assert.h"
 
+#ifdef RAIR_CHECKS
+#include "check/oracle.h"
+#endif
+
 namespace rair {
 
 SimConfig ScenarioSpec::windowPreset(bool fast) {
@@ -49,7 +53,18 @@ ScenarioResult runScenario(const ScenarioSpec& spec) {
   }
 
   ScenarioResult out;
+#ifdef RAIR_CHECKS
+  // Armed build: every scenario runs under the simulation oracle with
+  // amortized scan cadence and fail-fast semantics. The oracle is a pure
+  // observer, so results are bit-identical to the unarmed build.
+  check::NetworkOracle oracle(sim.network(), sim.ledger(),
+                              check::OracleOptions::armed());
+  sim.setObserver(&oracle);
   out.run = sim.run();
+  oracle.finish(out.run.cyclesRun);
+#else
+  out.run = sim.run();
+#endif
   out.meanApl = out.run.stats.overallApl();
   out.appApl.resize(static_cast<size_t>(numApps));
   for (AppId a = 0; a < numApps; ++a)

@@ -80,6 +80,7 @@ void Simulator::onDelivered(PacketId id, Cycle when, std::uint16_t hops) {
     measuredFlitsDelivered_ += p.numFlits;
   if (deliveryHook_) deliveryHook_(p, *this);
   if (deliveryObserver_) deliveryObserver_(p);
+  if (observer_) observer_->onPacketDelivered(p);
 }
 
 void Simulator::begin() {
@@ -95,6 +96,7 @@ void Simulator::stepCycle() {
   }
   for (auto& src : sources_) src->tick(*this);
   net_->step(now_);
+  if (observer_) observer_->onCycleEnd(now_);
   ++now_;
 }
 

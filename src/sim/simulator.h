@@ -49,6 +49,22 @@ const char* terminationName(Termination t);
 /// Inverse of terminationName; nullopt for unknown names.
 std::optional<Termination> terminationFromName(std::string_view name);
 
+/// Passive observer of the simulation loop — the attachment point of the
+/// simulation oracle (src/check/). Called after every completed network
+/// cycle and after every delivery; implementations must not mutate
+/// simulation state (an observed run must stay bit-identical to an
+/// unobserved one).
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+  /// The network finished advancing cycle `now` (all pipeline phases and
+  /// congestion propagation done).
+  virtual void onCycleEnd(Cycle now) = 0;
+  /// Packet `p` was delivered (already released from the ledger; `p` is a
+  /// copy with ejectCycle/hops filled in).
+  virtual void onPacketDelivered(const Packet& p) { (void)p; }
+};
+
 struct RunResult {
   StatsCollector stats{1};
   Cycle cyclesRun = 0;
@@ -112,6 +128,15 @@ class Simulator final : public InjectionSink, private NicEvents {
   Cycle now() const override { return now_; }
 
   Network& network() { return *net_; }
+  const Network& network() const { return *net_; }
+
+  /// The live-packet ledger (read-only; the oracle audits it against the
+  /// flits found in the network).
+  const PacketPool& ledger() const { return ledger_; }
+
+  /// Registers the (single) passive observer; null detaches. The only
+  /// per-cycle cost when unset is one predictable branch.
+  void setObserver(SimObserver* obs) { observer_ = obs; }
 
  private:
   // NicEvents: every NIC reports into the simulator's ledger directly.
@@ -138,6 +163,7 @@ class Simulator final : public InjectionSink, private NicEvents {
   std::priority_queue<Deferred, std::vector<Deferred>, std::greater<>>
       deferred_;
 
+  SimObserver* observer_ = nullptr;
   Cycle now_ = 0;
   std::uint64_t created_ = 0;
   std::uint64_t delivered_ = 0;

@@ -122,5 +122,202 @@ TEST(Equivalence, RunnerResultsIndependentOfWorkerCount) {
   EXPECT_EQ(p0.cyclesRun, 22062u);
 }
 
+// ---- Fig. 12 (DPA, four quadrant apps) -----------------------------------
+
+/// Fast-window calibrated loads of the fig12 campaign ("fig12/cal_a" and
+/// "fig12/cal_b" in its results file, campaignSeed = 1). Hard-coding them
+/// pins the workloads without re-running the saturation bisections.
+constexpr double kFig12RatesA[4] = {0.070229165341078717, 0.05664346945403196,
+                                    0.05664346945403196, 0.5679854733312848};
+constexpr double kFig12RatesB[4] = {0.067957602041636811, 0.067957602041636811,
+                                    0.066821820391915865, 0.5679854733312848};
+
+ScenarioResult runFig12Cell(char scen, const SchemeSpec& scheme,
+                            std::uint64_t seed) {
+  Mesh mesh(8, 8);
+  const RegionMap regions = RegionMap::quadrants(mesh);
+  auto apps = scen == 'a' ? scenarios::fourAppLowTowardHigh(0, 0)
+                          : scenarios::fourAppHighTowardLow(0, 0);
+  const double* rates = scen == 'a' ? kFig12RatesA : kFig12RatesB;
+  for (std::size_t a = 0; a < 4; ++a) apps[a].injectionRate = rates[a];
+  return runScenario(ScenarioSpec(mesh, regions)
+                         .withScheme(scheme)
+                         .withApps(std::move(apps))
+                         .withSeed(seed)
+                         .withFastWindows());
+}
+
+TEST(Equivalence, Fig12RaRairScenarioAMatchesRecordedGolden) {
+  // Seed of cell index 6 (RA_RAIR/a) of the full fig12 campaign.
+  const auto r = runFig12Cell('a', schemeRaRair(), 16184226688143867045ull);
+  ASSERT_EQ(r.appApl.size(), 4u);
+  EXPECT_EQ(r.appApl[0], 24.793486894360605);
+  EXPECT_EQ(r.appApl[1], 21.615497076023392);
+  EXPECT_EQ(r.appApl[2], 21.577321281840593);
+  EXPECT_EQ(r.appApl[3], 34.977863377860075);
+  EXPECT_EQ(r.meanApl, 31.979298232502522);
+  EXPECT_EQ(r.run.cyclesRun, 22088u);
+  EXPECT_EQ(r.run.packetsCreated, 88556u);
+  EXPECT_EQ(r.run.packetsDelivered, 88428u);
+  EXPECT_EQ(r.run.termination, Termination::Drained);
+}
+
+TEST(Equivalence, Fig12RunnerRowIndependentOfWorkerCount) {
+  // The first two cells (RO_RR/a, RO_RR/b) of the full fig12 campaign:
+  // same campaignSeed and cell order, so seeds derive identically.
+  campaign::CampaignSpec spec;
+  spec.name = "fig12trunc";
+  spec.campaignSeed = 1;
+  for (const char scen : {'a', 'b'}) {
+    campaign::CampaignCell cell;
+    cell.key = std::string("RO_RR/") + scen;
+    cell.labels = {{"scheme", "RO_RR"}, {"scenario", std::string(1, scen)}};
+    cell.run = [scen](std::uint64_t seed) {
+      return runFig12Cell(scen, schemeRoRr(), seed);
+    };
+    spec.add(std::move(cell));
+  }
+
+  campaign::RunnerOptions one;
+  one.jobs = 1;
+  const auto serial = campaign::runCampaign(spec, one);
+  campaign::RunnerOptions four;
+  four.jobs = 4;
+  const auto parallel = campaign::runCampaign(spec, four);
+
+  ASSERT_EQ(serial.records.size(), 2u);
+  EXPECT_EQ(canonicalLines(serial.records), canonicalLines(parallel.records));
+
+  const auto& a = serial.records[0];
+  EXPECT_EQ(a.key, "RO_RR/a");
+  EXPECT_EQ(a.seed, 10451216379200822465ull);
+  ASSERT_EQ(a.appApl.size(), 4u);
+  EXPECT_EQ(a.appApl[0], 28.197831261571014);
+  EXPECT_EQ(a.appApl[3], 31.845660433216558);
+  EXPECT_EQ(a.cyclesRun, 22179u);
+  EXPECT_EQ(a.packetsCreated, 88990u);
+
+  const auto& b = serial.records[1];
+  EXPECT_EQ(b.seed, 13757245211066428519ull);
+  ASSERT_EQ(b.appApl.size(), 4u);
+  EXPECT_EQ(b.appApl[0], 18.267169294037011);
+  EXPECT_EQ(b.cyclesRun, 22050u);
+}
+
+// ---- Fig. 14 (six-app generic RNoC) --------------------------------------
+
+/// Fast-window calibrated loads of the fig14 campaign ("sixapp/cal_UR",
+/// campaignSeed = 1), uniform-random global traffic.
+constexpr double kFig14Rates[6] = {0.078179636889125367, 0.62591033746705327,
+                                   0.14999999999999999,  0.15635927377825073,
+                                   0.23453891066737606,  0.62591033746705327};
+
+ScenarioResult runFig14Cell(const SchemeSpec& scheme, std::uint64_t seed) {
+  Mesh mesh(8, 8);
+  const RegionMap regions = RegionMap::sixRegions(mesh);
+  const std::vector<double> rates(kFig14Rates, kFig14Rates + 6);
+  const auto apps = scenarios::sixAppMixed(PatternKind::UniformRandom, rates);
+  return runScenario(ScenarioSpec(mesh, regions)
+                         .withScheme(scheme)
+                         .withApps(apps)
+                         .withSeed(seed)
+                         .withFastWindows());
+}
+
+TEST(Equivalence, Fig14RaRairMatchesRecordedGolden) {
+  // Seed of cell index 3 (RA_RAIR) of the full fig14 campaign.
+  const auto r = runFig14Cell(schemeRaRair(), 8196980753821780235ull);
+  ASSERT_EQ(r.appApl.size(), 6u);
+  EXPECT_EQ(r.appApl[0], 21.290786948176585);
+  EXPECT_EQ(r.appApl[1], 32.404580000000003);
+  EXPECT_EQ(r.appApl[2], 21.113610657282894);
+  EXPECT_EQ(r.appApl[3], 21.894479216819128);
+  EXPECT_EQ(r.appApl[4], 22.057012113055183);
+  EXPECT_EQ(r.appApl[5], 32.967497127653139);
+  EXPECT_EQ(r.meanApl, 28.789471633416458);
+  EXPECT_EQ(r.run.cyclesRun, 22051u);
+  EXPECT_EQ(r.run.packetsCreated, 141596u);
+  EXPECT_EQ(r.run.packetsDelivered, 141429u);
+  EXPECT_EQ(r.run.termination, Termination::Drained);
+}
+
+TEST(Equivalence, Fig14RunnerRowIndependentOfWorkerCount) {
+  // The first two cells (RO_RR, RA_DBAR) of the full fig14 campaign.
+  campaign::CampaignSpec spec;
+  spec.name = "fig14trunc";
+  spec.campaignSeed = 1;
+  for (const SchemeSpec& s : {schemeRoRr(), schemeRaDbar()}) {
+    campaign::CampaignCell cell;
+    cell.key = s.label;
+    cell.labels = {{"scheme", s.label}};
+    cell.run = [s](std::uint64_t seed) { return runFig14Cell(s, seed); };
+    spec.add(std::move(cell));
+  }
+
+  campaign::RunnerOptions one;
+  one.jobs = 1;
+  const auto serial = campaign::runCampaign(spec, one);
+  campaign::RunnerOptions four;
+  four.jobs = 4;
+  const auto parallel = campaign::runCampaign(spec, four);
+
+  ASSERT_EQ(serial.records.size(), 2u);
+  EXPECT_EQ(canonicalLines(serial.records), canonicalLines(parallel.records));
+
+  const auto& rr = serial.records[0];
+  EXPECT_EQ(rr.key, "RO_RR");
+  EXPECT_EQ(rr.seed, 10451216379200822465ull);
+  ASSERT_EQ(rr.appApl.size(), 6u);
+  EXPECT_EQ(rr.appApl[0], 21.963269200190808);
+  EXPECT_EQ(rr.appApl[5], 29.478742289754777);
+  EXPECT_EQ(rr.cyclesRun, 22070u);
+  EXPECT_EQ(rr.packetsCreated, 141684u);
+
+  const auto& dbar = serial.records[1];
+  EXPECT_EQ(dbar.key, "RA_DBAR");
+  EXPECT_EQ(dbar.seed, 13757245211066428519ull);
+  EXPECT_EQ(dbar.appApl[0], 21.960865415208399);
+  EXPECT_EQ(dbar.cyclesRun, 22051u);
+}
+
+// ---- Deprecated positional runScenario() overload ------------------------
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Equivalence, DeprecatedOverloadMatchesScenarioSpecByteForByte) {
+  Mesh mesh(8, 8);
+  const RegionMap regions = RegionMap::halves(mesh);
+  const auto apps = scenarios::twoAppInterRegion(
+      0.5, scenarios::kLowLoadFraction * kHalfSat,
+      scenarios::kHighLoadFraction * kHalfSat);
+  const SimConfig cfg = ScenarioSpec::windowPreset(/*fast=*/true);
+  const std::uint64_t seed = 10451216379200822465ull;
+
+  const ScenarioResult viaSpec = runScenario(ScenarioSpec(mesh, regions)
+                                                 .withScheme(schemeRaRair())
+                                                 .withApps(apps)
+                                                 .withSeed(seed)
+                                                 .withConfig(cfg));
+
+  ScenarioOptions opts;
+  opts.seed = seed;
+  const ScenarioResult viaPositional =
+      runScenario(mesh, regions, cfg, schemeRaRair(), apps, opts);
+
+  // The positional overload forwards into the ScenarioSpec path, so every
+  // field — stats, cycle counts, per-app APLs — must match exactly.
+  EXPECT_EQ(viaPositional.meanApl, viaSpec.meanApl);
+  ASSERT_EQ(viaPositional.appApl.size(), viaSpec.appApl.size());
+  for (std::size_t a = 0; a < viaSpec.appApl.size(); ++a)
+    EXPECT_EQ(viaPositional.appApl[a], viaSpec.appApl[a]);
+  EXPECT_EQ(viaPositional.run.cyclesRun, viaSpec.run.cyclesRun);
+  EXPECT_EQ(viaPositional.run.packetsCreated, viaSpec.run.packetsCreated);
+  EXPECT_EQ(viaPositional.run.packetsDelivered, viaSpec.run.packetsDelivered);
+  EXPECT_EQ(viaPositional.run.flitHops, viaSpec.run.flitHops);
+  EXPECT_EQ(viaPositional.run.deliveredFlitRate, viaSpec.run.deliveredFlitRate);
+  EXPECT_EQ(viaPositional.run.termination, viaSpec.run.termination);
+}
+#pragma GCC diagnostic pop
+
 }  // namespace
 }  // namespace rair

@@ -1,0 +1,207 @@
+// The simulation oracle (src/check/) as a test fixture: a clean run must
+// produce zero violations, an armed run must not perturb results, and a
+// deliberately corrupted network must be caught.
+#include "check/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "check/fuzz.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+#include "traffic/generator.h"
+
+namespace rair {
+namespace {
+
+/// A 4x4 mesh with two half-chip apps at moderate load: enough contention
+/// to exercise VA/SA arbitration, escape VCs and credit round-trips.
+struct OracleFixture {
+  Mesh mesh{4, 4};
+  RegionMap regions;
+  SimConfig cfg;
+  std::unique_ptr<ArbiterPolicy> policy;
+  std::unique_ptr<Simulator> sim;
+
+  explicit OracleFixture(const SchemeSpec& scheme, std::uint64_t seed = 7,
+                         double rate = 0.25)
+      : regions(RegionMap::halves(mesh)) {
+    cfg.warmupCycles = 0;
+    cfg.measureCycles = 2'000;
+    cfg.drainLimit = 30'000;
+    cfg.routing = scheme.routing;
+    cfg.net.rairPartition = scheme.needsRairPartition();
+    policy = makePolicy(scheme, {rate, rate});
+    sim = std::make_unique<Simulator>(mesh, regions, cfg, *policy, 2);
+    for (AppId a = 0; a < 2; ++a) {
+      AppTrafficSpec app;
+      app.app = a;
+      app.injectionRate = rate;
+      app.intraFraction = 0.5;
+      app.interFraction = 0.4;
+      app.mcFraction = 0.1;
+      sim->addSource(std::make_unique<RegionalizedSource>(mesh, regions, app,
+                                                          seed + a));
+    }
+  }
+};
+
+TEST(Oracle, CleanRunHasNoViolations) {
+  for (const SchemeSpec& scheme : {schemeRoRr(), schemeRaRair()}) {
+    OracleFixture fx(scheme);
+    check::OracleOptions oo;
+    oo.period = 1;
+    oo.deadlockPeriod = 16;
+    oo.failFast = false;
+    check::NetworkOracle oracle(fx.sim->network(), fx.sim->ledger(), oo);
+    fx.sim->setObserver(&oracle);
+    const RunResult r = fx.sim->run();
+    oracle.finish(r.cyclesRun);
+    const check::OracleReport rep = oracle.report();
+    EXPECT_TRUE(rep.ok()) << scheme.label << ": " << rep.summary();
+    EXPECT_GT(rep.scans, 1000u);
+    EXPECT_GT(rep.deadlockScans, 0u);
+  }
+}
+
+TEST(Oracle, ArmedRunDoesNotPerturbResults) {
+  // The oracle is a pure observer: same seed with and without it attached
+  // must give bit-identical outcomes.
+  auto runOnce = [](bool armed) {
+    OracleFixture fx(schemeRaRair(), /*seed=*/42);
+    std::unique_ptr<check::NetworkOracle> oracle;
+    if (armed) {
+      oracle = std::make_unique<check::NetworkOracle>(
+          fx.sim->network(), fx.sim->ledger(),
+          check::OracleOptions::armed());
+      fx.sim->setObserver(oracle.get());
+    }
+    return fx.sim->run();
+  };
+  const RunResult plain = runOnce(false);
+  const RunResult armed = runOnce(true);
+  EXPECT_EQ(armed.cyclesRun, plain.cyclesRun);
+  EXPECT_EQ(armed.packetsCreated, plain.packetsCreated);
+  EXPECT_EQ(armed.packetsDelivered, plain.packetsDelivered);
+  EXPECT_EQ(armed.flitHops, plain.flitHops);
+  EXPECT_EQ(armed.deliveredFlitRate, plain.deliveredFlitRate);
+  EXPECT_EQ(armed.stats.overallApl(), plain.stats.overallApl());
+  EXPECT_EQ(armed.stats.appApl(0), plain.stats.appApl(0));
+  EXPECT_EQ(armed.stats.appApl(1), plain.stats.appApl(1));
+}
+
+TEST(Oracle, DroppedCreditIsCaught) {
+  OracleFixture fx(schemeRoRr());
+  check::OracleOptions oo;
+  oo.period = 1;
+  oo.failFast = false;
+  check::NetworkOracle oracle(fx.sim->network(), fx.sim->ledger(), oo);
+  fx.sim->setObserver(&oracle);
+  fx.sim->begin();
+
+  // Warm the network, then lose one credit on the first link that holds
+  // a droppable one.
+  for (int i = 0; i < 200; ++i) fx.sim->stepCycle();
+  bool dropped = false;
+  for (NodeId n = 0; n < fx.mesh.numNodes() && !dropped; ++n)
+    for (int p = 0; p < kNumPorts && !dropped; ++p)
+      for (int vc = 0; vc < fx.sim->network().layout().totalVcs(); ++vc)
+        if (fx.sim->network().router(n).debugDropCredit(static_cast<Dir>(p),
+                                                        vc)) {
+          dropped = true;
+          break;
+        }
+  ASSERT_TRUE(dropped) << "no credit in flight to drop after warmup";
+
+  for (int i = 0; i < 5; ++i) fx.sim->stepCycle();
+  const check::OracleReport rep = oracle.report();
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.violations[0].what.find("credit conservation"),
+            std::string::npos)
+      << rep.summary();
+}
+
+TEST(Oracle, StarvationWatchdogFiresOnTinyAgeBound) {
+  OracleFixture fx(schemeRoRr());
+  check::OracleOptions oo;
+  oo.period = 1;
+  oo.maxInNetworkAge = 2;  // virtually every packet exceeds this
+  oo.failFast = false;
+  check::NetworkOracle oracle(fx.sim->network(), fx.sim->ledger(), oo);
+  fx.sim->setObserver(&oracle);
+  fx.sim->begin();
+  for (int i = 0; i < 300; ++i) fx.sim->stepCycle();
+  const check::OracleReport rep = oracle.report();
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.violations[0].what.find("starvation"), std::string::npos)
+      << rep.summary();
+}
+
+TEST(Oracle, FinishFlagsUndrainedTrafficOnEmptyLedger) {
+  // finish() is only meaningful when the ledger empties; mid-run it holds
+  // traffic, so the quiescence cross-check must stay silent.
+  OracleFixture fx(schemeRoRr());
+  check::OracleOptions oo;
+  oo.failFast = false;
+  check::NetworkOracle oracle(fx.sim->network(), fx.sim->ledger(), oo);
+  fx.sim->setObserver(&oracle);
+  fx.sim->begin();
+  for (int i = 0; i < 100; ++i) fx.sim->stepCycle();
+  ASSERT_GT(fx.sim->inFlight(), 0u);
+  oracle.finish(fx.sim->now());
+  EXPECT_TRUE(oracle.report().ok()) << oracle.report().summary();
+}
+
+TEST(FuzzHarness, CaseGenerationIsDeterministic) {
+  for (std::uint64_t seed : {1ull, 0xDEADBEEFull, 987654321ull}) {
+    const check::FuzzCase a = check::generateCase(seed);
+    const check::FuzzCase b = check::generateCase(seed);
+    EXPECT_EQ(a.describe(), b.describe());
+    EXPECT_GE(a.meshW, 2);
+    EXPECT_GE(a.meshH, 2);
+    EXPECT_GE(a.vcsPerClass, 3);  // valid under RAIR partitioning
+    EXPECT_EQ(static_cast<int>(a.apps.size()), a.regionsX * a.regionsY);
+  }
+}
+
+TEST(FuzzHarness, SmokeRunIsClean) {
+  check::FuzzOptions opts;
+  opts.scenarios = 3;
+  opts.seed = 11;
+  const check::FuzzSummary sum = check::runFuzz(opts);
+  EXPECT_EQ(sum.casesRun, 6);  // 3 cases x 2 default schemes
+  EXPECT_EQ(sum.failures, 0) << (sum.failed.empty()
+                                     ? std::string("?")
+                                     : sum.failed[0].report.summary());
+}
+
+TEST(FuzzHarness, InjectedFaultsAreCaught) {
+  // The self-test of the whole subsystem: every dropped credit must make
+  // the oracle report a violation.
+  check::FuzzOptions opts;
+  opts.scenarios = 4;
+  opts.seed = 23;
+  opts.injectFault = true;
+  const check::FuzzSummary sum = check::runFuzz(opts);
+  EXPECT_EQ(sum.casesRun, 8);
+  EXPECT_EQ(sum.faultsMissed, 0);
+  // At these loads an idle network is essentially impossible; if every
+  // case skipped, the self-test would be vacuous.
+  EXPECT_LT(sum.faultsSkipped, sum.casesRun);
+}
+
+TEST(FuzzHarness, ReproPathReproducesCleanRun) {
+  check::FuzzOptions opts;
+  const auto results = check::runFuzzSeed(0x1234u, opts);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& res : results) {
+    EXPECT_TRUE(res.drained);
+    EXPECT_TRUE(res.report.ok()) << res.report.summary();
+    EXPECT_EQ(res.caseSeed, 0x1234u);
+  }
+}
+
+}  // namespace
+}  // namespace rair
