@@ -17,8 +17,10 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "metrics/recorder.h"
 #include "scenarios/paper_scenarios.h"
 #include "sim/scenario.h"
 
@@ -41,8 +43,10 @@ struct HotLoop {
   RegionMap regions;
   std::unique_ptr<ArbiterPolicy> policy;
   std::unique_ptr<Simulator> sim;
+  std::optional<metrics::MetricsRecorder> recorder;
 
-  HotLoop(const SchemeSpec& scheme, double app1Fraction)
+  HotLoop(const SchemeSpec& scheme, double app1Fraction,
+          bool withMetrics = false)
       : regions(RegionMap::halves(mesh)) {
     const auto apps = scenarios::twoAppInterRegion(
         /*p=*/1.0, scenarios::kLowLoadFraction * kHalfSat,
@@ -63,14 +67,23 @@ struct HotLoop {
           std::make_unique<RegionalizedSource>(mesh, regions, a, seed));
       seed += 0x9E3779B9ull;
     }
+    if (withMetrics) {
+      // The default-level recorder, exactly as runScenario() attaches it;
+      // the *_metrics benchmark variants measure its per-cycle overhead
+      // (tools/perf_check.py --paired-suffix guards it in CI).
+      metrics::MetricsOptions mo;  // Counters level, no sinks
+      recorder.emplace(sim->network(), regions, mo, /*numApps=*/2,
+                       kWarmupCycles);
+      sim->addObserver(&*recorder);
+    }
     sim->begin();
     for (Cycle c = 0; c < kWarmupCycles; ++c) sim->stepCycle();
   }
 };
 
 void BM_hotpath(benchmark::State& st, const SchemeSpec& scheme,
-                double app1Fraction) {
-  HotLoop loop(scheme, app1Fraction);
+                double app1Fraction, bool withMetrics = false) {
+  HotLoop loop(scheme, app1Fraction, withMetrics);
   const std::uint64_t hops0 = loop.sim->network().totalFlitsTraversed();
   std::uint64_t cycles = 0;
   for (auto _ : st) {
@@ -97,6 +110,15 @@ RAIR_HOTPATH_BENCH(ro_rr_saturated, schemeRoRr(), 1.10);
 RAIR_HOTPATH_BENCH(ra_rair_low, schemeRaRair(), 0.10);
 RAIR_HOTPATH_BENCH(ra_rair_knee, schemeRaRair(), 0.85);
 RAIR_HOTPATH_BENCH(ra_rair_saturated, schemeRaRair(), 1.10);
+
+// Same knee workloads with the default-level metrics recorder attached:
+// the "_metrics" suffix pairs each with its bare twin so perf_check.py
+// can bound the instrumentation overhead (<= 2% on cycles_per_sec).
+BENCHMARK_CAPTURE(BM_hotpath, ro_rr_knee_metrics, schemeRoRr(), 0.85, true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_hotpath, ra_rair_knee_metrics, schemeRaRair(), 0.85,
+                  true)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace rair

@@ -104,13 +104,31 @@ std::vector<double> cachedRates(
   return out;
 }
 
+/// Resolves the campaign-wide metrics options into per-cell options: with
+/// a sink prefix configured, each cell writes its files under
+/// "<prefix><campaign>_<key>." ('/' in keys flattened to '_').
+metrics::MetricsOptions cellMetricsOptions(
+    const metrics::MetricsOptions& base, const std::string& campaign,
+    const std::string& key) {
+  metrics::MetricsOptions mo = base;
+  if (!mo.outPrefix.empty()) {
+    std::string k = campaign + "_" + key;
+    for (char& c : k)
+      if (c == '/') c = '_';
+    mo.outPrefix += k + ".";
+  }
+  return mo;
+}
+
 ScenarioResult runCell(const Fixture& fx, const SimConfig& cfg,
                        const SchemeSpec& scheme,
-                       std::vector<AppTrafficSpec> apps, std::uint64_t seed) {
+                       std::vector<AppTrafficSpec> apps, std::uint64_t seed,
+                       const metrics::MetricsOptions& mo) {
   return runScenario(ScenarioSpec(*fx.mesh, *fx.regions)
                          .withConfig(cfg)
                          .withScheme(scheme)
                          .withApps(std::move(apps))
+                         .withMetrics(mo)
                          .withSeed(seed));
 }
 
@@ -148,11 +166,12 @@ CampaignSpec twoAppSweepCampaign(const std::string& name, BuildContext& ctx,
       CampaignCell cell;
       cell.key = s.label + "/p" + std::to_string(p);
       cell.labels = {{"scheme", s.label}, {"p", std::to_string(p)}};
-      cell.run = [fx, cfg, s, p, sat](std::uint64_t seed) {
+      const auto mo = cellMetricsOptions(ctx.metrics, name, cell.key);
+      cell.run = [fx, cfg, s, p, sat, mo](std::uint64_t seed) {
         const auto apps = scenarios::twoAppInterRegion(
             p / 100.0, scenarios::kLowLoadFraction * sat,
             scenarios::kHighLoadFraction * sat);
-        return runCell(fx, cfg, s, apps, seed);
+        return runCell(fx, cfg, s, apps, seed, mo);
       };
       spec.add(std::move(cell));
     }
@@ -290,11 +309,12 @@ CampaignSpec buildFig12(BuildContext& ctx) {
       cell.labels = {{"scheme", s.label},
                      {"scenario", std::string(1, scen)}};
       const std::vector<double> r = rates[scen];
-      cell.run = [fx, cfg, s, scen, r](std::uint64_t seed) {
+      const auto mo = cellMetricsOptions(ctx.metrics, spec.name, cell.key);
+      cell.run = [fx, cfg, s, scen, r, mo](std::uint64_t seed) {
         auto shapes = scen == 'a' ? scenarios::fourAppLowTowardHigh(0, 0)
                                   : scenarios::fourAppHighTowardLow(0, 0);
         for (std::size_t a = 0; a < 4; ++a) shapes[a].injectionRate = r[a];
-        return runCell(fx, cfg, s, shapes, seed);
+        return runCell(fx, cfg, s, shapes, seed, mo);
       };
       spec.add(std::move(cell));
     }
@@ -357,16 +377,18 @@ const std::vector<SchemeSpec>& sixAppSchemes() {
 
 void addSixAppCells(CampaignSpec& spec, const Fixture& fx,
                     const SimConfig& cfg, PatternKind pattern,
-                    const std::vector<double>& rates, bool keyByPattern) {
+                    const std::vector<double>& rates, bool keyByPattern,
+                    const metrics::MetricsOptions& baseMo) {
   for (const SchemeSpec& s : sixAppSchemes()) {
     CampaignCell cell;
     const std::string pname = patternName(pattern);
     cell.key = keyByPattern ? s.label + "/" + pname : s.label;
     cell.labels = {{"scheme", s.label}};
     if (keyByPattern) cell.labels.emplace_back("pattern", pname);
-    cell.run = [fx, cfg, s, pattern, rates](std::uint64_t seed) {
+    const auto mo = cellMetricsOptions(baseMo, spec.name, cell.key);
+    cell.run = [fx, cfg, s, pattern, rates, mo](std::uint64_t seed) {
       const auto apps = scenarios::sixAppMixed(pattern, rates);
-      return runCell(fx, cfg, s, apps, seed);
+      return runCell(fx, cfg, s, apps, seed, mo);
     };
     spec.add(std::move(cell));
   }
@@ -380,7 +402,7 @@ CampaignSpec buildFig14(BuildContext& ctx) {
   spec.name = "fig14";
   spec.campaignSeed = ctx.campaignSeed;
   addSixAppCells(spec, fx, ctx.sim, PatternKind::UniformRandom, rates,
-                 /*keyByPattern=*/false);
+                 /*keyByPattern=*/false, ctx.metrics);
 
   std::vector<std::string> labels;
   for (const auto& s : sixAppSchemes())
@@ -425,7 +447,7 @@ CampaignSpec buildFig15(BuildContext& ctx) {
   // each app's knee (see bench/fig15_patterns.cpp rationale).
   for (const PatternKind pat : patterns)
     addSixAppCells(spec, fx, ctx.sim, pat, sixAppRates(ctx, fx, pat),
-                   /*keyByPattern=*/true);
+                   /*keyByPattern=*/true, ctx.metrics);
 
   std::vector<std::string> labels;
   for (const auto& s : sixAppSchemes())
@@ -493,7 +515,8 @@ CampaignSpec buildAblRegions(BuildContext& ctx) {
       cell.key = std::to_string(count) + (rairScheme ? "/RAIR" : "/RR");
       cell.labels = {{"regions", std::to_string(count)},
                      {"scheme", rairScheme ? "RA_RAIR" : "RO_RR"}};
-      cell.run = [fx, cfg, count, rairScheme, rates](std::uint64_t seed) {
+      const auto mo = cellMetricsOptions(ctx.metrics, spec.name, cell.key);
+      cell.run = [fx, cfg, count, rairScheme, rates, mo](std::uint64_t seed) {
         std::vector<AppTrafficSpec> shapes(
             static_cast<std::size_t>(count));
         for (AppId a = 0; a < count; ++a) {
@@ -505,7 +528,7 @@ CampaignSpec buildAblRegions(BuildContext& ctx) {
           s.injectionRate = rates[static_cast<std::size_t>(a)];
         }
         return runCell(fx, cfg, rairScheme ? schemeRaRair() : schemeRoRr(),
-                       shapes, seed);
+                       shapes, seed, mo);
       };
       spec.add(std::move(cell));
     }

@@ -31,6 +31,11 @@ struct BuildContext {
   SimConfig sim;          ///< measurement windows for the cells
   SaturationOptions sat;  ///< calibration windows
   std::uint64_t campaignSeed = 1;
+  /// Instrumentation applied to every cell. The default (counters level,
+  /// no sink prefix) keeps records byte-identical to uninstrumented runs;
+  /// a non-empty outPrefix makes each cell write its sinks under
+  /// "<outPrefix><campaign>_<key>." with '/' flattened to '_'.
+  metrics::MetricsOptions metrics;
   /// Memoization hook for expensive calibration scalars: returns the
   /// cached value for `key` or computes, caches and returns `fn()`.
   std::function<double(const std::string&,

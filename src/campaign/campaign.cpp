@@ -58,6 +58,17 @@ std::string CellRecord::toJsonLine(bool includeVolatile) const {
   rec.set("delivered_flit_rate", JsonValue(deliveredFlitRate));
   rec.set("app_apl", JsonValue(std::move(apl)));
   rec.set("mean_apl", JsonValue(meanApl));
+  if (metrics) {
+    JsonValue m{JsonValue::Object{}};
+    m.set("va_grants_native", JsonValue(metrics->vaGrantsNative));
+    m.set("va_grants_foreign", JsonValue(metrics->vaGrantsForeign));
+    m.set("sa_grants_native", JsonValue(metrics->saGrantsNative));
+    m.set("sa_grants_foreign", JsonValue(metrics->saGrantsForeign));
+    m.set("escape_allocations", JsonValue(metrics->escapeAllocations));
+    m.set("flits_traversed", JsonValue(metrics->flitsTraversed));
+    m.set("dpa_flips", JsonValue(metrics->dpaFlips));
+    rec.set("metrics", std::move(m));
+  }
   if (includeVolatile) rec.set("wall_ms", JsonValue(wallMs));
   return rec.dump();
 }
@@ -96,6 +107,21 @@ std::optional<CellRecord> CellRecord::fromJson(const JsonValue& v) {
   if (const JsonValue* a = v.find("app_apl"); a && a->isArray())
     for (const JsonValue& e : a->asArray())
       if (e.isNumber()) r.appApl.push_back(e.asNumber());
+  if (const JsonValue* m = v.find("metrics"); m && m->isObject()) {
+    CellMetrics cm;
+    auto mnum = [&](const char* name, std::uint64_t& out) {
+      if (const JsonValue* n = m->find(name); n && n->isNumber())
+        out = static_cast<std::uint64_t>(n->asNumber());
+    };
+    mnum("va_grants_native", cm.vaGrantsNative);
+    mnum("va_grants_foreign", cm.vaGrantsForeign);
+    mnum("sa_grants_native", cm.saGrantsNative);
+    mnum("sa_grants_foreign", cm.saGrantsForeign);
+    mnum("escape_allocations", cm.escapeAllocations);
+    mnum("flits_traversed", cm.flitsTraversed);
+    mnum("dpa_flips", cm.dpaFlips);
+    r.metrics = cm;
+  }
   return r;
 }
 
@@ -141,6 +167,18 @@ CellRecord makeCellRecord(const CampaignSpec& spec, const CampaignCell& cell,
   r.deliveredFlitRate = result.run.deliveredFlitRate;
   r.appApl = result.appApl;
   r.meanApl = result.meanApl;
+  if (result.metrics &&
+      result.metrics->level >= metrics::MetricsLevel::Summary) {
+    CellMetrics cm;
+    cm.vaGrantsNative = result.metrics->vaGrantsNative;
+    cm.vaGrantsForeign = result.metrics->vaGrantsForeign;
+    cm.saGrantsNative = result.metrics->saGrantsNative;
+    cm.saGrantsForeign = result.metrics->saGrantsForeign;
+    cm.escapeAllocations = result.metrics->escapeAllocations;
+    cm.flitsTraversed = result.metrics->flitsTraversed;
+    cm.dpaFlips = result.metrics->dpaFlips;
+    r.metrics = cm;
+  }
   r.wallMs = wallMs;
   return r;
 }

@@ -32,6 +32,19 @@ namespace rair::campaign {
 /// two arguments, so a cell's simulation is reproducible in isolation.
 std::uint64_t cellSeed(std::uint64_t campaignSeed, std::size_t index);
 
+/// Aggregate instrumentation embedded in a cell record when the campaign
+/// ran with --metrics summary or above. Absent at the default counters
+/// level, so default records stay byte-identical to uninstrumented runs.
+struct CellMetrics {
+  std::uint64_t vaGrantsNative = 0;
+  std::uint64_t vaGrantsForeign = 0;
+  std::uint64_t saGrantsNative = 0;
+  std::uint64_t saGrantsForeign = 0;
+  std::uint64_t escapeAllocations = 0;
+  std::uint64_t flitsTraversed = 0;
+  std::uint64_t dpaFlips = 0;
+};
+
 /// Structured outcome of one executed (or cached) campaign cell.
 struct CellRecord {
   std::string campaign;  ///< owning campaign name
@@ -47,6 +60,8 @@ struct CellRecord {
   double deliveredFlitRate = 0.0;
   std::vector<double> appApl;  ///< per application (index = AppId)
   double meanApl = 0.0;        ///< over all measured packets
+  /// Present only when the cell ran at MetricsLevel::Summary or above.
+  std::optional<CellMetrics> metrics;
   double wallMs = 0.0;  ///< volatile: excluded from the canonical form
   bool fromCache = false;  ///< loaded from a results file (not serialized)
 

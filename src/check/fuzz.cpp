@@ -7,6 +7,7 @@
 
 #include "common/assert.h"
 #include "common/rng.h"
+#include "metrics/recorder.h"
 #include "sim/simulator.h"
 #include "traffic/source.h"
 
@@ -107,7 +108,16 @@ FuzzCaseResult runCase(const FuzzCase& c, const SchemeSpec& scheme,
   oo.maxInNetworkAge = opts.maxInNetworkAge;
   oo.failFast = false;
   NetworkOracle oracle(sim.network(), sim.ledger(), oo);
-  sim.setObserver(&oracle);
+  sim.addObserver(&oracle);
+
+  // Every case also runs the metrics recorder (counters level, no file
+  // sinks) so the oracle's census cross-check exercises the same
+  // registry path the scenario runner uses.
+  metrics::MetricsOptions mo;
+  mo.level = metrics::MetricsLevel::Counters;
+  metrics::MetricsRecorder recorder(sim.network(), regions, mo, numApps,
+                                    c.sourceCycles);
+  sim.addObserver(&recorder);
 
   FuzzCaseResult res;
   res.caseSeed = caseSeed;
@@ -116,6 +126,13 @@ FuzzCaseResult runCase(const FuzzCase& c, const SchemeSpec& scheme,
 
   Xoshiro256StarStar faultRng(splitMix64(caseSeed ^ 0xFA177Eull));
   bool wantFault = opts.injectFault;
+  // Alternate deterministically between the two corruption models: a
+  // dropped credit (network-state fault the structural scans must catch)
+  // and a corrupted metrics counter cell (census fault the totals
+  // cross-check must catch).
+  const bool metricsFault =
+      wantFault && (splitMix64(caseSeed ^ 0x5EEDull) & 1) != 0;
+  res.faultKind = !wantFault ? "" : (metricsFault ? "counter" : "credit");
   const Cycle faultCycle =
       wantFault ? 1 + faultRng.below(c.sourceCycles) : 0;
 
@@ -125,9 +142,13 @@ FuzzCaseResult runCase(const FuzzCase& c, const SchemeSpec& scheme,
     sim.stepCycle();
     const Cycle now = sim.now();
     if (wantFault && now >= faultCycle) {
-      // Keep trying each cycle until a credit exists to drop (an idle
-      // network early in the window may hold none in this instant).
-      if (dropOneCredit(sim.network(), faultRng)) {
+      if (metricsFault) {
+        recorder.debugCorruptCounter(faultRng());
+        res.faultInjected = true;
+        wantFault = false;
+      } else if (dropOneCredit(sim.network(), faultRng)) {
+        // Keep trying each cycle until a credit exists to drop (an idle
+        // network early in the window may hold none in this instant).
         res.faultInjected = true;
         wantFault = false;
       }
@@ -141,6 +162,9 @@ FuzzCaseResult runCase(const FuzzCase& c, const SchemeSpec& scheme,
     }
     if (now >= hardStop) break;
   }
+  recorder.finalize(sim.now());
+  oracle.crossValidateTotals(sim.now(), recorder.deliveredPackets(),
+                             recorder.deliveredFlits());
   oracle.finish(sim.now());
   res.report = oracle.report();
   return res;

@@ -69,7 +69,9 @@ struct FuzzOptions {
   /// Cycles after the injection cutoff before failing to drain is itself a
   /// violation (lost or stuck traffic).
   Cycle drainBudget = 60'000;
-  bool injectFault = false;  ///< self-test: drop one credit per case
+  /// Self-test: inject one fault per case — alternating (by case seed)
+  /// between dropping a credit and corrupting a metrics counter cell.
+  bool injectFault = false;
   bool shrink = true;        ///< shrink failing cases (off in fault mode)
 };
 
@@ -77,7 +79,10 @@ struct FuzzCaseResult {
   std::uint64_t caseSeed = 0;
   std::string scheme;
   bool drained = false;
-  bool faultInjected = false;  ///< a credit was actually dropped
+  bool faultInjected = false;  ///< a fault was actually injected
+  /// Fault-mode only: which corruption model this case used — "credit"
+  /// (dropped credit) or "counter" (corrupted metrics counter cell).
+  std::string faultKind;
   OracleReport report;
   FuzzCase shrunk;  ///< smallest still-failing variant (== original params
                     ///< when shrinking is off or never reduced)

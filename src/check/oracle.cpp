@@ -103,6 +103,23 @@ void NetworkOracle::onCycleEnd(Cycle now) {
 void NetworkOracle::onPacketDelivered(const Packet& p) {
   windows_.erase(p.id);
   reportedStarved_.erase(p.id);
+  ++deliveredPackets_;
+  deliveredFlits_ += p.numFlits;
+}
+
+void NetworkOracle::crossValidateTotals(Cycle now,
+                                        std::uint64_t deliveredPackets,
+                                        std::uint64_t deliveredFlits) {
+  if (deliveredPackets != deliveredPackets_)
+    violation(now, fmt("metrics census mismatch: registry reports %llu "
+                       "delivered packets, oracle counted %llu",
+                       static_cast<unsigned long long>(deliveredPackets),
+                       static_cast<unsigned long long>(deliveredPackets_)));
+  if (deliveredFlits != deliveredFlits_)
+    violation(now, fmt("metrics census mismatch: registry reports %llu "
+                       "delivered flits, oracle counted %llu",
+                       static_cast<unsigned long long>(deliveredFlits),
+                       static_cast<unsigned long long>(deliveredFlits_)));
 }
 
 void NetworkOracle::scanNow(Cycle now) {

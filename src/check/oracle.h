@@ -112,6 +112,14 @@ class NetworkOracle final : public SimObserver {
   /// agreement (a drained ledger requires an empty network).
   void finish(Cycle now);
 
+  /// Cross-validates an external delivery census (the metrics registry's
+  /// totals) against the oracle's own independent counts, taken in
+  /// onPacketDelivered. Any mismatch — e.g. a corrupted counter cell — is
+  /// reported as a violation. Plain integers, so callers need no metrics
+  /// dependency.
+  void crossValidateTotals(Cycle now, std::uint64_t deliveredPackets,
+                           std::uint64_t deliveredFlits);
+
   const OracleReport& report() const { return report_; }
 
   /// Forces a full scan now regardless of cadence (tests).
@@ -149,6 +157,10 @@ class NetworkOracle final : public SimObserver {
   std::unordered_map<PacketId, SeqWindow> windows_;
   std::unordered_set<PacketId> streaming_;  ///< packets mid-injection at a NIC
   std::unordered_set<PacketId> reportedStarved_;
+
+  // Independent delivery census for crossValidateTotals().
+  std::uint64_t deliveredPackets_ = 0;
+  std::uint64_t deliveredFlits_ = 0;
 
   // Previous-scan snapshots for transition/ownership checks. Only
   // meaningful when scans run on consecutive cycles (period 1); the

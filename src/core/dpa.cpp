@@ -21,8 +21,10 @@ void DpaState::update(const RouterOccupancy& occ) {
   lastRatio_ = r;
   if (!nativeHigh_ && r > 1.0 + delta_) {
     nativeHigh_ = true;
+    ++flips_;
   } else if (nativeHigh_ && r < 1.0 - delta_) {
     nativeHigh_ = false;
+    ++flips_;
   }
 }
 

@@ -43,10 +43,15 @@ class DpaState final : public PolicyState {
 
   double delta() const { return delta_; }
 
+  /// Number of priority transitions (in either direction) since
+  /// construction — the flip count behind Fig. 11/13-style traces.
+  std::uint64_t flips() const { return flips_; }
+
  private:
   double delta_;
   bool nativeHigh_ = false;  ///< default: foreign high (paper Sec. IV.C)
   double lastRatio_ = 0.0;
+  std::uint64_t flips_ = 0;
 };
 
 }  // namespace rair

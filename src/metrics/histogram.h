@@ -1,0 +1,99 @@
+// Running scalar statistics plus a coarse power-of-two histogram — the
+// metric type behind every latency/hops distribution in the repo.
+//
+// This is the canonical implementation of what the stats layer exposes as
+// `LatencyStats` (stats/stats.h aliases it); the metrics registry stores
+// arrays of these for dimensioned distribution metrics. The state is a
+// fixed-size value (no heap), so registry histogram cells can be updated
+// on the hot path without allocating.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+
+namespace rair::metrics {
+
+class Histogram {
+ public:
+  /// Number of power-of-two buckets; bucket k counts samples in
+  /// [2^k, 2^(k+1)), bucket 0 also holds values < 1.
+  static constexpr std::size_t kBuckets = 24;
+
+  void record(double v) {
+    ++count_;
+    sum_ += v;
+    sumSq_ += v * v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    std::size_t bucket = 0;
+    if (v >= 1.0) {
+      const auto iv = static_cast<std::uint64_t>(v);
+      bucket = static_cast<std::size_t>(std::bit_width(iv) - 1);
+      bucket = std::min(bucket, kBuckets - 1);
+    }
+    ++buckets_[bucket];
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// Unbiased sample variance (0 for fewer than 2 samples).
+  double variance() const {
+    if (count_ < 2) return 0.0;
+    const auto n = static_cast<double>(count_);
+    const double var = (sumSq_ - sum_ * sum_ / n) / (n - 1.0);
+    return std::max(var, 0.0);  // clamp negative rounding artifacts
+  }
+
+  std::span<const std::uint64_t> histogram() const { return buckets_; }
+
+  /// Approximate p-quantile (q in [0,1]) from the histogram; used for tail
+  /// latency reporting. Returns 0 when empty.
+  double approxQuantile(double q) const {
+    if (count_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_));
+    std::uint64_t seen = 0;
+    for (std::size_t k = 0; k < kBuckets; ++k) {
+      seen += buckets_[k];
+      if (seen > target) {
+        // Midpoint of bucket [2^k, 2^(k+1)); bucket 0 spans [0, 2).
+        const double lo =
+            (k == 0) ? 0.0 : std::ldexp(1.0, static_cast<int>(k));
+        const double hi = std::ldexp(1.0, static_cast<int>(k) + 1);
+        return (lo + hi) / 2.0;
+      }
+    }
+    return max_;
+  }
+
+  void merge(const Histogram& other) {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    sumSq_ += other.sumSq_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    for (std::size_t k = 0; k < kBuckets; ++k) buckets_[k] += other.buckets_[k];
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double sumSq_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+}  // namespace rair::metrics

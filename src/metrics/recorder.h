@@ -1,0 +1,115 @@
+// MetricsRecorder: the bridge between the simulation loop and the
+// dimensional metrics registry.
+//
+// The recorder is a pure SimObserver — it never mutates simulation state,
+// so an instrumented run is bit-identical to an uninstrumented one. Costs
+// scale with the configured level:
+//
+//   Counters  per-delivery counter increments and a latency histogram
+//             record; onCycleEnd returns immediately. All cells are
+//             preallocated at registration, so the warm path stays
+//             allocation-free.
+//   Summary   same collection; finalize() additionally snapshots the
+//             per-router arbitration counters (RouterCounters), per-link
+//             flit matrices and DPA flip counts into the registry — a pull
+//             model with zero per-cycle cost.
+//   Series    + interval sampling in onCycleEnd: per-region DPA priority
+//             state (Fig. 11/13-style traces), per-direction link-flit
+//             deltas, and the per-interval APL/throughput series
+//             (re-expressing TimeSeries on the subsystem).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/metrics.h"
+#include "metrics/registry.h"
+#include "sim/simulator.h"
+#include "stats/timeseries.h"
+
+namespace rair::metrics {
+
+class MetricsRecorder final : public SimObserver {
+ public:
+  /// @param horizonCycles warmup+measurement horizon, used to derive the
+  ///        automatic sampling interval (1/50th, at least 100 cycles).
+  /// @param numApps size of the App dimension; AppIds outside
+  ///        [0, numApps) (e.g. the adversarial flooder) land in one extra
+  ///        overflow slot so registry totals always equal true totals.
+  MetricsRecorder(const Network& net, const RegionMap& regions,
+                  const MetricsOptions& opts, int numApps,
+                  Cycle horizonCycles);
+
+  // SimObserver:
+  void onCycleEnd(Cycle now) override;
+  void onPacketDelivered(const Packet& p) override;
+
+  /// Closes collection: snapshots per-router counters and DPA state into
+  /// the registry and computes the aggregate summary. Call exactly once,
+  /// after the run loop finished.
+  void finalize(Cycle cyclesRun);
+
+  /// Writes the configured file sinks (requires finalize(); no-op when
+  /// outPrefix is empty or level < Summary). Returns false if any file
+  /// could not be written.
+  bool writeSinks() const;
+
+  /// Aggregates (valid after finalize()).
+  const MetricsSummary& summary() const { return summary_; }
+
+  /// Live delivery census from the registry — what the simulation oracle
+  /// cross-validates against its own counts.
+  std::uint64_t deliveredPackets() const {
+    return registry_.counterTotal(deliveredPacketsH_);
+  }
+  std::uint64_t deliveredFlits() const {
+    return registry_.counterTotal(deliveredFlitsH_);
+  }
+
+  const MetricsRegistry& registry() const { return registry_; }
+  const MetricsOptions& options() const { return opts_; }
+  const TimeSeries& series() const { return series_; }
+  Cycle sampleInterval() const { return interval_; }
+
+  /// Fault-injection hook for the fuzz harness: adds one to an arbitrary
+  /// delivered-packets cell (chosen by `pick`), silently corrupting the
+  /// census the oracle cross-validates. Returns the corrupted flat cell.
+  std::size_t debugCorruptCounter(std::uint64_t pick);
+
+ private:
+  void takeSample(Cycle now);
+
+  const Network* net_;
+  const RegionMap* regions_;
+  MetricsOptions opts_;
+  int numApps_;     ///< declared apps; the App dimension has one extra slot
+  int numRegions_;  ///< regions with DPA-trackable routers
+  Cycle interval_;  ///< resolved sampling interval (Series level)
+
+  MetricsRegistry registry_;
+  CounterHandle deliveredPacketsH_;  ///< {App+1}
+  CounterHandle deliveredFlitsH_;    ///< {App+1}
+  HistogramHandle packetLatencyH_;   ///< {App+1}
+  CounterHandle vaGrantsH_;          ///< {Router, Locality}
+  CounterHandle saGrantsH_;          ///< {Router, Locality}
+  CounterHandle escapeAllocationsH_; ///< {Router}
+  CounterHandle linkFlitsH_;         ///< {Router, Port}
+  CounterHandle dpaFlipsH_;          ///< {Router}
+
+  /// One Series-level sample, taken at the END of its interval.
+  struct Sample {
+    Cycle cycle = 0;
+    std::vector<int> dpaNativeHigh;        ///< per region: routers native-high
+    std::vector<std::uint64_t> linkFlits;  ///< per direction: traversal delta
+  };
+  std::vector<Sample> samples_;
+  std::vector<std::uint64_t> lastLinkFlits_;  ///< per direction, cumulative
+  Cycle nextSample_;
+
+  TimeSeries series_;  ///< per-interval packets/flits/latency (Series)
+
+  MetricsSummary summary_;
+  bool finalized_ = false;
+};
+
+}  // namespace rair::metrics

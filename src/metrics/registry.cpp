@@ -1,0 +1,179 @@
+#include "metrics/registry.h"
+
+#include <numeric>
+#include <utility>
+
+namespace rair::metrics {
+
+const char* dimensionName(Dimension d) {
+  switch (d) {
+    case Dimension::Router: return "router";
+    case Dimension::Port: return "port";
+    case Dimension::VcClass: return "vc_class";
+    case Dimension::App: return "app";
+    case Dimension::Region: return "region";
+    case Dimension::Locality: return "locality";
+    case Dimension::ArbStage: return "arb_stage";
+    case Dimension::Interval: return "interval";
+  }
+  return "unknown";
+}
+
+MetricsRegistry::Metric& MetricsRegistry::registerMetric(MetricSpec spec,
+                                                         MetricKind kind) {
+  RAIR_CHECK_MSG(spec.dims.size() == spec.extents.size(),
+                 "metric dims/extents length mismatch");
+  for (const auto& m : metrics_)
+    RAIR_CHECK_MSG(m.spec.name != spec.name, "duplicate metric name");
+  std::size_t cells = 1;
+  for (const int e : spec.extents) {
+    RAIR_CHECK_MSG(e >= 1, "metric extent must be >= 1");
+    cells *= static_cast<std::size_t>(e);
+  }
+  Metric m;
+  m.spec = std::move(spec);
+  m.kind = kind;
+  m.cells = cells;
+  metrics_.push_back(std::move(m));
+  return metrics_.back();
+}
+
+CounterHandle MetricsRegistry::addCounter(MetricSpec spec) {
+  Metric& m = registerMetric(std::move(spec), MetricKind::Counter);
+  m.offset = counters_.size();
+  m.kindIndex = static_cast<std::uint32_t>(counterIds_.size());
+  counters_.resize(counters_.size() + m.cells, 0);
+  counterIds_.push_back(static_cast<std::uint32_t>(metrics_.size() - 1));
+  return CounterHandle{m.kindIndex};
+}
+
+GaugeHandle MetricsRegistry::addGauge(MetricSpec spec) {
+  Metric& m = registerMetric(std::move(spec), MetricKind::Gauge);
+  m.offset = gauges_.size();
+  m.kindIndex = static_cast<std::uint32_t>(gaugeIds_.size());
+  gauges_.resize(gauges_.size() + m.cells, 0.0);
+  gaugeIds_.push_back(static_cast<std::uint32_t>(metrics_.size() - 1));
+  return GaugeHandle{m.kindIndex};
+}
+
+HistogramHandle MetricsRegistry::addHistogram(MetricSpec spec) {
+  Metric& m = registerMetric(std::move(spec), MetricKind::Histogram);
+  m.offset = histograms_.size();
+  m.kindIndex = static_cast<std::uint32_t>(histogramIds_.size());
+  histograms_.resize(histograms_.size() + m.cells);
+  histogramIds_.push_back(static_cast<std::uint32_t>(metrics_.size() - 1));
+  return HistogramHandle{m.kindIndex};
+}
+
+const MetricsRegistry::Metric& MetricsRegistry::metricOf(
+    MetricKind kind, std::uint32_t id) const {
+  const std::vector<std::uint32_t>* ids = nullptr;
+  switch (kind) {
+    case MetricKind::Counter: ids = &counterIds_; break;
+    case MetricKind::Gauge: ids = &gaugeIds_; break;
+    case MetricKind::Histogram: ids = &histogramIds_; break;
+  }
+  RAIR_CHECK_MSG(id < ids->size(), "invalid metric handle");
+  return metrics_[(*ids)[id]];
+}
+
+std::size_t MetricsRegistry::flatIndexImpl(
+    const Metric& m, std::initializer_list<int> coords) const {
+  RAIR_CHECK_MSG(coords.size() == m.spec.dims.size(),
+                 "coordinate count does not match metric dimensions");
+  std::size_t flat = 0;
+  std::size_t d = 0;
+  for (const int c : coords) {
+    const int extent = m.spec.extents[d];
+    RAIR_CHECK_MSG(c >= 0 && c < extent, "metric coordinate out of range");
+    flat = flat * static_cast<std::size_t>(extent) +
+           static_cast<std::size_t>(c);
+    ++d;
+  }
+  return flat;
+}
+
+std::uint64_t& MetricsRegistry::counterCell(CounterHandle h,
+                                            std::size_t flat) {
+  const Metric& m = metricOf(MetricKind::Counter, h.id);
+  RAIR_DCHECK(flat < m.cells);
+  return counters_[m.offset + flat];
+}
+
+std::uint64_t MetricsRegistry::counterCell(CounterHandle h,
+                                           std::size_t flat) const {
+  const Metric& m = metricOf(MetricKind::Counter, h.id);
+  RAIR_DCHECK(flat < m.cells);
+  return counters_[m.offset + flat];
+}
+
+double& MetricsRegistry::gaugeCell(GaugeHandle h, std::size_t flat) {
+  const Metric& m = metricOf(MetricKind::Gauge, h.id);
+  RAIR_DCHECK(flat < m.cells);
+  return gauges_[m.offset + flat];
+}
+
+double MetricsRegistry::gaugeCell(GaugeHandle h, std::size_t flat) const {
+  const Metric& m = metricOf(MetricKind::Gauge, h.id);
+  RAIR_DCHECK(flat < m.cells);
+  return gauges_[m.offset + flat];
+}
+
+Histogram& MetricsRegistry::histogramCell(HistogramHandle h,
+                                          std::size_t flat) {
+  const Metric& m = metricOf(MetricKind::Histogram, h.id);
+  RAIR_DCHECK(flat < m.cells);
+  return histograms_[m.offset + flat];
+}
+
+const Histogram& MetricsRegistry::histogramCell(HistogramHandle h,
+                                                std::size_t flat) const {
+  const Metric& m = metricOf(MetricKind::Histogram, h.id);
+  RAIR_DCHECK(flat < m.cells);
+  return histograms_[m.offset + flat];
+}
+
+std::uint64_t MetricsRegistry::counterTotal(CounterHandle h) const {
+  const auto span = counterCells(h);
+  return std::accumulate(span.begin(), span.end(), std::uint64_t{0});
+}
+
+std::span<const std::uint64_t> MetricsRegistry::counterCells(
+    CounterHandle h) const {
+  const Metric& m = metricOf(MetricKind::Counter, h.id);
+  return {counters_.data() + m.offset, m.cells};
+}
+
+std::span<const double> MetricsRegistry::gaugeCells(GaugeHandle h) const {
+  const Metric& m = metricOf(MetricKind::Gauge, h.id);
+  return {gauges_.data() + m.offset, m.cells};
+}
+
+std::span<const Histogram> MetricsRegistry::histogramCells(
+    HistogramHandle h) const {
+  const Metric& m = metricOf(MetricKind::Histogram, h.id);
+  return {histograms_.data() + m.offset, m.cells};
+}
+
+void MetricsRegistry::forEach(
+    const std::function<void(const MetricView&)>& fn) const {
+  for (const Metric& m : metrics_) {
+    MetricView v;
+    v.spec = &m.spec;
+    v.kind = m.kind;
+    switch (m.kind) {
+      case MetricKind::Counter:
+        v.counters = {counters_.data() + m.offset, m.cells};
+        break;
+      case MetricKind::Gauge:
+        v.gauges = {gauges_.data() + m.offset, m.cells};
+        break;
+      case MetricKind::Histogram:
+        v.histograms = {histograms_.data() + m.offset, m.cells};
+        break;
+    }
+    fn(v);
+  }
+}
+
+}  // namespace rair::metrics

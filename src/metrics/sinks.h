@@ -1,0 +1,73 @@
+// Pluggable output sinks of the metrics subsystem.
+//
+// All sinks are deterministic: object keys are emitted in a fixed order
+// and doubles are formatted with %.17g, so the same run always produces
+// byte-identical files (the same property the campaign store guarantees
+// for its records). Three formats cover the consumers we have:
+//
+//   * JSON summary   — one object per run; totals, shares, histogram tails
+//   * JSONL series   — one object per sampling interval (Fig. 11/13-style
+//                      DPA priority traces, per-link utilization, APL)
+//   * CSV matrix     — one row per router; the per-link utilization and
+//                      per-router arbitration matrix figure scripts consume
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metrics/metrics.h"
+#include "metrics/registry.h"
+
+namespace rair::metrics {
+
+/// Deterministic round-trippable double formatting (%.17g). Non-finite
+/// values serialize as 0 (sinks never emit bare inf/nan tokens).
+std::string formatDouble(double v);
+
+/// Escapes a string for embedding in a JSON document (no surrounding
+/// quotes).
+std::string jsonEscape(std::string_view s);
+
+/// Minimal ordered JSON object assembler for the sink writers: keys keep
+/// call order, values are pre-serialized fragments or typed scalars.
+class JsonObject {
+ public:
+  JsonObject& add(std::string_view key, std::uint64_t v);
+  JsonObject& add(std::string_view key, double v);
+  JsonObject& addString(std::string_view key, std::string_view v);
+  /// Adds an already-serialized JSON fragment (array or object) verbatim.
+  JsonObject& addRaw(std::string_view key, std::string_view json);
+  std::string str() const;
+
+ private:
+  std::string body_;
+};
+
+/// Serializes a span-like list of integers as a JSON array.
+std::string jsonArray(const std::vector<std::uint64_t>& values);
+std::string jsonArray(const std::vector<int>& values);
+std::string jsonArray(const std::vector<double>& values);
+
+/// One CSV line from cells (no quoting; metric names and coordinates never
+/// contain commas).
+std::string csvLine(const std::vector<std::string>& cells);
+
+/// Writes `contents` to `path`, replacing any existing file. Returns false
+/// (and leaves no partial file behind as far as the OS allows) on failure.
+bool writeTextFile(const std::string& path, std::string_view contents);
+
+/// The per-run JSON summary sink: the aggregate totals plus one entry per
+/// registered metric (counters as cell arrays, histograms as
+/// count/mean/p50/p99 digests).
+std::string summaryJson(const MetricsSummary& summary,
+                        const MetricsRegistry& registry);
+
+/// The CSV matrix sink: emits every counter metric whose first dimension
+/// is Router as columns of a router-indexed table. The first columns are
+/// "router" plus one per remaining coordinate combination, named
+/// "<metric>[.<coord>...]".
+std::string routerCsv(const MetricsRegistry& registry, int numRouters);
+
+}  // namespace rair::metrics

@@ -436,6 +436,7 @@ void Router::switchAllocateAndTraverse(Cycle now) {
       in->sendCredit(now, w.inVc);
     ++flitsMovedThisCycle_;
     ++counters_.flitsTraversed;
+    ++counters_.portFlits[static_cast<size_t>(w.outPort)];
     (isNative(f) ? counters_.saGrantsNative : counters_.saGrantsForeign)++;
     saOutRr_[static_cast<size_t>(outPort)] = (w.inPort + 1) % kNumPorts;
     saInRr_[static_cast<size_t>(w.inPort)] = (w.inVc + 1) % totalVcs;

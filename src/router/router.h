@@ -48,6 +48,9 @@ struct RouterCounters {
   std::uint64_t saGrantsForeign = 0;
   std::uint64_t escapeAllocations = 0;  ///< packets that fell to escape VCs
   std::uint64_t flitsTraversed = 0;
+  /// Switch traversals by output port — per-link utilization (the Local
+  /// port counts ejections). Sums to flitsTraversed.
+  std::array<std::uint64_t, kNumPorts> portFlits{};
 };
 
 /// Input-VC state machine (canonical VC router).

@@ -1,6 +1,7 @@
 #include "sim/scenario.h"
 
 #include "common/assert.h"
+#include "metrics/recorder.h"
 
 #ifdef RAIR_CHECKS
 #include "check/oracle.h"
@@ -59,29 +60,36 @@ ScenarioResult runScenario(const ScenarioSpec& spec) {
   // observer, so results are bit-identical to the unarmed build.
   check::NetworkOracle oracle(sim.network(), sim.ledger(),
                               check::OracleOptions::armed());
-  sim.setObserver(&oracle);
-  out.run = sim.run();
-  oracle.finish(out.run.cyclesRun);
-#else
-  out.run = sim.run();
+  sim.addObserver(&oracle);
 #endif
+  // The recorder is likewise a pure observer: results stay bit-identical
+  // whether or not instrumentation is attached.
+  std::optional<metrics::MetricsRecorder> recorder;
+  if (spec.metrics.enabled()) {
+    recorder.emplace(sim.network(), *spec.regions, spec.metrics, numApps,
+                     cfg.warmupCycles + cfg.measureCycles);
+    sim.addObserver(&*recorder);
+  }
+  out.run = sim.run();
+  if (recorder) recorder->finalize(out.run.cyclesRun);
+#ifdef RAIR_CHECKS
+  // Cross-validate the metrics census against the oracle's own delivery
+  // counts before closing the audit.
+  if (recorder)
+    oracle.crossValidateTotals(out.run.cyclesRun,
+                               recorder->deliveredPackets(),
+                               recorder->deliveredFlits());
+  oracle.finish(out.run.cyclesRun);
+#endif
+  if (recorder) {
+    RAIR_CHECK_MSG(recorder->writeSinks(), "metrics sink write failed");
+    out.metrics = recorder->summary();
+  }
   out.meanApl = out.run.stats.overallApl();
   out.appApl.resize(static_cast<size_t>(numApps));
   for (AppId a = 0; a < numApps; ++a)
     out.appApl[static_cast<size_t>(a)] = out.run.stats.appApl(a);
   return out;
-}
-
-ScenarioResult runScenario(const Mesh& mesh, const RegionMap& regions,
-                           SimConfig cfg, const SchemeSpec& scheme,
-                           const std::vector<AppTrafficSpec>& apps,
-                           const ScenarioOptions& opts) {
-  return runScenario(ScenarioSpec(mesh, regions)
-                         .withConfig(cfg)
-                         .withScheme(scheme)
-                         .withApps(apps)
-                         .withAdversarialRate(opts.adversarialRate)
-                         .withSeed(opts.seed));
 }
 
 }  // namespace rair

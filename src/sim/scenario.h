@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "metrics/metrics.h"
 #include "region/region_map.h"
 #include "sim/scheme.h"
 #include "sim/simulator.h"
@@ -27,6 +28,10 @@ struct ScenarioResult {
   std::vector<double> appApl;  ///< per application (index = AppId)
   double meanApl = 0.0;        ///< over all measured packets
   RunResult run;
+
+  /// Aggregate instrumentation of the run (absent when the spec disabled
+  /// metrics collection with MetricsLevel::Off).
+  std::optional<metrics::MetricsSummary> metrics;
 
   /// Relative APL reduction of app `a` against a baseline result
   /// (positive = this scheme is faster). The paper's headline metric.
@@ -44,15 +49,6 @@ struct ScenarioResult {
   }
 };
 
-/// Options of the legacy positional runScenario overload. New code sets
-/// the corresponding ScenarioSpec fields instead.
-struct ScenarioOptions {
-  /// Chip-wide adversarial flood rate in flits/cycle/node (Fig. 17 uses
-  /// 0.4); the flooder gets AppId = apps.size().
-  double adversarialRate = 0.0;
-  std::uint64_t seed = 1;
-};
-
 /// Everything one scheme-on-one-workload run needs, as a single value
 /// type. The mesh and region map are referenced, not owned — they must
 /// outlive the spec.
@@ -66,6 +62,8 @@ struct ScenarioSpec {
   /// 0.4); the flooder gets AppId = apps.size(). 0 disables it.
   double adversarialRate = 0.0;
   std::uint64_t seed = 1;
+  /// Instrumentation level and sink configuration of the run.
+  metrics::MetricsOptions metrics;
 
   ScenarioSpec(const Mesh& m, const RegionMap& r) : mesh(&m), regions(&r) {}
 
@@ -95,6 +93,19 @@ struct ScenarioSpec {
     seed = s;
     return *this;
   }
+  ScenarioSpec& withMetrics(const metrics::MetricsOptions& m) {
+    metrics = m;
+    return *this;
+  }
+  ScenarioSpec& withMetricsLevel(metrics::MetricsLevel level) {
+    metrics.level = level;
+    return *this;
+  }
+  /// Path prefix for the metrics file sinks (e.g. "out/fig11.").
+  ScenarioSpec& withMetricsOut(std::string prefix) {
+    metrics.outPrefix = std::move(prefix);
+    return *this;
+  }
   /// Overwrites only the window fields of `config` (warmup, measure,
   /// drain limit) with the preset, keeping network knobs intact.
   ScenarioSpec& withWindows(bool fast) {
@@ -110,13 +121,5 @@ struct ScenarioSpec {
 
 /// Runs one scheme on one workload.
 ScenarioResult runScenario(const ScenarioSpec& spec);
-
-/// Legacy positional overload, kept for one release as a thin forward to
-/// the ScenarioSpec form.
-[[deprecated("assemble a ScenarioSpec and call runScenario(spec)")]]
-ScenarioResult runScenario(const Mesh& mesh, const RegionMap& regions,
-                           SimConfig cfg, const SchemeSpec& scheme,
-                           const std::vector<AppTrafficSpec>& apps,
-                           const ScenarioOptions& opts = {});
 
 }  // namespace rair

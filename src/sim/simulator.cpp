@@ -80,7 +80,8 @@ void Simulator::onDelivered(PacketId id, Cycle when, std::uint16_t hops) {
     measuredFlitsDelivered_ += p.numFlits;
   if (deliveryHook_) deliveryHook_(p, *this);
   if (deliveryObserver_) deliveryObserver_(p);
-  if (observer_) observer_->onPacketDelivered(p);
+  for (std::size_t i = 0; i < numObservers_; ++i)
+    observers_[i]->onPacketDelivered(p);
 }
 
 void Simulator::begin() {
@@ -96,7 +97,8 @@ void Simulator::stepCycle() {
   }
   for (auto& src : sources_) src->tick(*this);
   net_->step(now_);
-  if (observer_) observer_->onCycleEnd(now_);
+  for (std::size_t i = 0; i < numObservers_; ++i)
+    observers_[i]->onCycleEnd(now_);
   ++now_;
 }
 

@@ -4,6 +4,7 @@
 // network running ("drain") until every measured packet is delivered.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -134,9 +135,22 @@ class Simulator final : public InjectionSink, private NicEvents {
   /// flits found in the network).
   const PacketPool& ledger() const { return ledger_; }
 
-  /// Registers the (single) passive observer; null detaches. The only
-  /// per-cycle cost when unset is one predictable branch.
-  void setObserver(SimObserver* obs) { observer_ = obs; }
+  /// Resets the observer list to a single observer (null detaches all).
+  /// The only per-cycle cost when none is attached is one predictable
+  /// branch.
+  void setObserver(SimObserver* obs) {
+    numObservers_ = 0;
+    if (obs != nullptr) addObserver(obs);
+  }
+
+  /// Appends a passive observer; at most kMaxObservers may be attached
+  /// (the oracle and the metrics recorder each take one slot). Observers
+  /// fire in attachment order.
+  void addObserver(SimObserver* obs) {
+    RAIR_CHECK_MSG(obs != nullptr, "addObserver(nullptr)");
+    RAIR_CHECK_MSG(numObservers_ < kMaxObservers, "too many observers");
+    observers_[numObservers_++] = obs;
+  }
 
  private:
   // NicEvents: every NIC reports into the simulator's ledger directly.
@@ -163,7 +177,9 @@ class Simulator final : public InjectionSink, private NicEvents {
   std::priority_queue<Deferred, std::vector<Deferred>, std::greater<>>
       deferred_;
 
-  SimObserver* observer_ = nullptr;
+  static constexpr std::size_t kMaxObservers = 4;
+  std::array<SimObserver*, kMaxObservers> observers_{};
+  std::size_t numObservers_ = 0;
   Cycle now_ = 0;
   std::uint64_t created_ = 0;
   std::uint64_t delivered_ = 0;

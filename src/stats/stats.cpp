@@ -1,59 +1,8 @@
 #include "stats/stats.h"
 
 #include <algorithm>
-#include <bit>
-#include <cmath>
 
 namespace rair {
-
-void LatencyStats::record(double v) {
-  ++count_;
-  sum_ += v;
-  sumSq_ += v * v;
-  min_ = std::min(min_, v);
-  max_ = std::max(max_, v);
-  std::size_t bucket = 0;
-  if (v >= 1.0) {
-    const auto iv = static_cast<std::uint64_t>(v);
-    bucket = static_cast<std::size_t>(std::bit_width(iv) - 1);
-    bucket = std::min(bucket, buckets_.size() - 1);
-  }
-  ++buckets_[bucket];
-}
-
-double LatencyStats::variance() const {
-  if (count_ < 2) return 0.0;
-  const auto n = static_cast<double>(count_);
-  const double var = (sumSq_ - sum_ * sum_ / n) / (n - 1.0);
-  return std::max(var, 0.0);  // clamp negative rounding artifacts
-}
-
-double LatencyStats::approxQuantile(double q) const {
-  if (count_ == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_));
-  std::uint64_t seen = 0;
-  for (std::size_t k = 0; k < buckets_.size(); ++k) {
-    seen += buckets_[k];
-    if (seen > target) {
-      // Midpoint of bucket [2^k, 2^(k+1)); bucket 0 spans [0, 2).
-      const double lo = (k == 0) ? 0.0 : std::ldexp(1.0, static_cast<int>(k));
-      const double hi = std::ldexp(1.0, static_cast<int>(k) + 1);
-      return (lo + hi) / 2.0;
-    }
-  }
-  return max_;
-}
-
-void LatencyStats::merge(const LatencyStats& other) {
-  count_ += other.count_;
-  sum_ += other.sum_;
-  sumSq_ += other.sumSq_;
-  min_ = std::min(min_, other.min_);
-  max_ = std::max(max_, other.max_);
-  for (std::size_t k = 0; k < buckets_.size(); ++k)
-    buckets_[k] += other.buckets_[k];
-}
 
 StatsCollector::StatsCollector(int numApps)
     : perApp_(static_cast<size_t>(std::max(numApps, 1))) {}

@@ -10,47 +10,20 @@
 #pragma once
 
 #include <cstdint>
-#include <limits>
-#include <span>
 #include <vector>
 
 #include "common/assert.h"
 #include "common/types.h"
+#include "metrics/histogram.h"
 #include "packet/packet.h"
 
 namespace rair {
 
-/// Running scalar statistics plus a coarse power-of-two histogram.
-class LatencyStats {
- public:
-  void record(double v);
-
-  std::uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
-  double min() const { return count_ ? min_ : 0.0; }
-  double max() const { return count_ ? max_ : 0.0; }
-  /// Unbiased sample variance (0 for fewer than 2 samples).
-  double variance() const;
-
-  /// Histogram bucket k counts samples in [2^k, 2^(k+1)); bucket 0 also
-  /// holds values < 1.
-  std::span<const std::uint64_t> histogram() const { return buckets_; }
-
-  /// Approximate p-quantile (q in [0,1]) from the histogram; used for tail
-  /// latency reporting. Returns 0 when empty.
-  double approxQuantile(double q) const;
-
-  void merge(const LatencyStats& other);
-
- private:
-  std::uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double sumSq_ = 0.0;
-  double min_ = std::numeric_limits<double>::infinity();
-  double max_ = -std::numeric_limits<double>::infinity();
-  std::vector<std::uint64_t> buckets_ = std::vector<std::uint64_t>(24, 0);
-};
+/// Running scalar statistics plus a coarse power-of-two histogram. The
+/// implementation lives in the metrics subsystem (metrics/histogram.h) so
+/// dimensioned registry metrics and per-app latency accounting share one
+/// numeric definition; this alias keeps the historical stats-layer name.
+using LatencyStats = metrics::Histogram;
 
 /// Aggregated results for one application.
 struct AppStats {

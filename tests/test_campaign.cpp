@@ -114,6 +114,45 @@ TEST(CellRecord, JsonRoundTrip) {
   EXPECT_NE(rec.toJsonLine(true).find("wall_ms"), std::string::npos);
 }
 
+TEST(CellRecord, MetricsBlockRoundTripsAndStaysOptional) {
+  CellRecord rec;
+  rec.campaign = "unit";
+  rec.key = "RA_RAIR/mid";
+  rec.seed = 42;
+  rec.cyclesRun = 1'000;
+  rec.appApl = {10.0};
+  // Default level: no metrics block, and none serialized -- the byte
+  // identity of default campaign records depends on this.
+  EXPECT_EQ(rec.toJsonLine().find("\"metrics\""), std::string::npos);
+  const auto plain = CellRecord::fromJsonLine(rec.toJsonLine());
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_FALSE(plain->metrics.has_value());
+
+  CellMetrics m;
+  m.vaGrantsNative = 1'000'000'000'001ull;  // > 2^32: must survive JSON
+  m.vaGrantsForeign = 17;
+  m.saGrantsNative = 23;
+  m.saGrantsForeign = 5;
+  m.escapeAllocations = 7;
+  m.flitsTraversed = 28;
+  m.dpaFlips = 3;
+  rec.metrics = m;
+  const std::string line = rec.toJsonLine();
+  EXPECT_NE(line.find("\"metrics\""), std::string::npos);
+  const auto parsed = CellRecord::fromJsonLine(line);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->metrics.has_value());
+  EXPECT_EQ(parsed->metrics->vaGrantsNative, m.vaGrantsNative);
+  EXPECT_EQ(parsed->metrics->vaGrantsForeign, m.vaGrantsForeign);
+  EXPECT_EQ(parsed->metrics->saGrantsNative, m.saGrantsNative);
+  EXPECT_EQ(parsed->metrics->saGrantsForeign, m.saGrantsForeign);
+  EXPECT_EQ(parsed->metrics->escapeAllocations, m.escapeAllocations);
+  EXPECT_EQ(parsed->metrics->flitsTraversed, m.flitsTraversed);
+  EXPECT_EQ(parsed->metrics->dpaFlips, m.dpaFlips);
+  // Re-serializing reproduces the original bytes.
+  EXPECT_EQ(parsed->toJsonLine(), line);
+}
+
 TEST(CellRecord, ReductionAgainstEmptyBaselineIsZeroNotNan) {
   CellRecord base, mine;
   base.appApl = {0.0, 40.0};

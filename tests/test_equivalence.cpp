@@ -280,44 +280,5 @@ TEST(Equivalence, Fig14RunnerRowIndependentOfWorkerCount) {
   EXPECT_EQ(dbar.cyclesRun, 22051u);
 }
 
-// ---- Deprecated positional runScenario() overload ------------------------
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Equivalence, DeprecatedOverloadMatchesScenarioSpecByteForByte) {
-  Mesh mesh(8, 8);
-  const RegionMap regions = RegionMap::halves(mesh);
-  const auto apps = scenarios::twoAppInterRegion(
-      0.5, scenarios::kLowLoadFraction * kHalfSat,
-      scenarios::kHighLoadFraction * kHalfSat);
-  const SimConfig cfg = ScenarioSpec::windowPreset(/*fast=*/true);
-  const std::uint64_t seed = 10451216379200822465ull;
-
-  const ScenarioResult viaSpec = runScenario(ScenarioSpec(mesh, regions)
-                                                 .withScheme(schemeRaRair())
-                                                 .withApps(apps)
-                                                 .withSeed(seed)
-                                                 .withConfig(cfg));
-
-  ScenarioOptions opts;
-  opts.seed = seed;
-  const ScenarioResult viaPositional =
-      runScenario(mesh, regions, cfg, schemeRaRair(), apps, opts);
-
-  // The positional overload forwards into the ScenarioSpec path, so every
-  // field — stats, cycle counts, per-app APLs — must match exactly.
-  EXPECT_EQ(viaPositional.meanApl, viaSpec.meanApl);
-  ASSERT_EQ(viaPositional.appApl.size(), viaSpec.appApl.size());
-  for (std::size_t a = 0; a < viaSpec.appApl.size(); ++a)
-    EXPECT_EQ(viaPositional.appApl[a], viaSpec.appApl[a]);
-  EXPECT_EQ(viaPositional.run.cyclesRun, viaSpec.run.cyclesRun);
-  EXPECT_EQ(viaPositional.run.packetsCreated, viaSpec.run.packetsCreated);
-  EXPECT_EQ(viaPositional.run.packetsDelivered, viaSpec.run.packetsDelivered);
-  EXPECT_EQ(viaPositional.run.flitHops, viaSpec.run.flitHops);
-  EXPECT_EQ(viaPositional.run.deliveredFlitRate, viaSpec.run.deliveredFlitRate);
-  EXPECT_EQ(viaPositional.run.termination, viaSpec.run.termination);
-}
-#pragma GCC diagnostic pop
-
 }  // namespace
 }  // namespace rair

@@ -10,7 +10,9 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <optional>
 
+#include "metrics/recorder.h"
 #include "scenarios/paper_scenarios.h"
 #include "sim/scenario.h"
 
@@ -62,7 +64,8 @@ namespace {
 /// Steady-state allocations while stepping `cycles` cycles of a warm
 /// fig09-style two-app simulation under `scheme`.
 std::uint64_t steadyStateAllocs(const SchemeSpec& scheme, Cycle warmCycles,
-                                Cycle measuredCycles) {
+                                Cycle measuredCycles,
+                                bool withMetrics = false) {
   Mesh mesh(8, 8);
   const RegionMap regions = RegionMap::halves(mesh);
   // The fig09 p=100 cell shape at moderate absolute loads: app 0 fully
@@ -82,6 +85,17 @@ std::uint64_t steadyStateAllocs(const SchemeSpec& scheme, Cycle warmCycles,
     sim.addSource(std::make_unique<RegionalizedSource>(mesh, regions, a,
                                                        seed));
     seed += 0x9E3779B9ull;
+  }
+
+  std::optional<metrics::MetricsRecorder> recorder;
+  if (withMetrics) {
+    // Default-level recorder, as runScenario() attaches it: all registry
+    // cells are preallocated at registration, so the warm loop below must
+    // stay allocation-free with it observing every delivery.
+    metrics::MetricsOptions mo;  // Counters level
+    recorder.emplace(sim.network(), regions, mo, /*numApps=*/2,
+                     warmCycles + measuredCycles);
+    sim.addObserver(&*recorder);
   }
 
   sim.begin();
@@ -105,6 +119,12 @@ TEST(HotPathAlloc, WarmSimulationStepsAreAllocationFreeRoRr) {
 
 TEST(HotPathAlloc, WarmSimulationStepsAreAllocationFreeRaRair) {
   EXPECT_EQ(steadyStateAllocs(schemeRaRair(), 8'000, 2'000), 0u);
+}
+
+TEST(HotPathAlloc, WarmStepsStayAllocationFreeWithMetricsRecorder) {
+  EXPECT_EQ(steadyStateAllocs(schemeRaRair(), 8'000, 2'000,
+                              /*withMetrics=*/true),
+            0u);
 }
 
 }  // namespace

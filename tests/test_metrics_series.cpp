@@ -1,0 +1,162 @@
+// Series-level metrics: the JSONL/JSON/CSV file sinks of a two-region run
+// must reproduce a Fig. 11-style DPA priority time series and a registry
+// census that parses back to the in-memory summary.
+#include "metrics/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/json.h"
+#include "scenarios/paper_scenarios.h"
+#include "sim/scenario.h"
+
+namespace rair {
+namespace {
+
+using campaign::JsonValue;
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+struct SeriesRun {
+  ScenarioResult res;
+  std::string prefix;
+};
+
+/// One Series-level run of the Fig. 8 workload: app 1 loads its half hard
+/// while app 0 leaks traffic into it — the setup whose DPA priority trace
+/// the paper plots in Fig. 11.
+SeriesRun runSeriesCell() {
+  SeriesRun out;
+  out.prefix = ::testing::TempDir() + "rair_series_test.";
+  Mesh m(8, 8);
+  const auto rm = RegionMap::halves(m);
+  SimConfig cfg;
+  cfg.warmupCycles = 500;
+  cfg.measureCycles = 5'000;
+  cfg.drainLimit = 60'000;
+  metrics::MetricsOptions mo;
+  mo.level = metrics::MetricsLevel::Series;
+  mo.sampleInterval = 250;
+  mo.outPrefix = out.prefix;
+  out.res = runScenario(ScenarioSpec(m, rm)
+                            .withConfig(cfg)
+                            .withScheme(schemeRaRair())
+                            .withApps(scenarios::twoAppInterRegion(
+                                0.5, 0.05, 0.30))
+                            .withSeed(11)
+                            .withMetrics(mo));
+  return out;
+}
+
+TEST(MetricsSeries, SinksReproduceDpaTraceAndCensus) {
+  const SeriesRun run = runSeriesCell();
+  ASSERT_TRUE(run.res.metrics.has_value());
+  const auto& summary = *run.res.metrics;
+
+  // ---- series.jsonl: the Fig. 11-style trace ---------------------------
+  const std::string series = readFile(run.prefix + "series.jsonl");
+  std::istringstream lines(series);
+  std::string line;
+  std::uint64_t sumPackets = 0;
+  Cycle prevCycle = 0;
+  bool sawNativeHigh = false;
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    const auto v = JsonValue::parse(line);
+    ASSERT_TRUE(v.has_value()) << line;
+    ++rows;
+    EXPECT_EQ(v->find("type")->asString(), "interval");
+    const auto cycle = static_cast<Cycle>(v->find("cycle")->asNumber());
+    // Samples are taken at the end of each fixed-width interval; the
+    // final row may close early at the end of the run.
+    EXPECT_GT(cycle, prevCycle);
+    prevCycle = cycle;
+    sumPackets +=
+        static_cast<std::uint64_t>(v->find("packets")->asNumber());
+    const auto& dpa = v->find("dpa_native_high")->asArray();
+    ASSERT_EQ(dpa.size(), 2u);  // one entry per region
+    for (const auto& d : dpa) {
+      EXPECT_GE(d.asNumber(), 0.0);
+      EXPECT_LE(d.asNumber(), 32.0);  // routers per half of an 8x8 mesh
+      if (d.asNumber() > 0.0) sawNativeHigh = true;
+    }
+    const auto& links = v->find("link_flits")->asArray();
+    ASSERT_EQ(links.size(), 5u);  // one entry per port direction
+  }
+  EXPECT_GE(rows, 20u);  // 5500-cycle horizon / 250-cycle interval
+  // Every delivered packet lands in exactly one interval, so the trace
+  // sums back to the registry census.
+  EXPECT_EQ(sumPackets, summary.deliveredPackets);
+  // The contended half must have flipped some routers to native-high at
+  // some point (the Fig. 11 phenomenon) -- and the run as a whole
+  // recorded DPA transitions.
+  EXPECT_TRUE(sawNativeHigh);
+  EXPECT_GT(summary.dpaFlips, 0u);
+
+  // ---- summary.json: parses and agrees with the in-memory summary ------
+  const auto sj = JsonValue::parse(readFile(run.prefix + "summary.json"));
+  ASSERT_TRUE(sj.has_value());
+  EXPECT_EQ(sj->find("type")->asString(), "metrics_summary");
+  EXPECT_EQ(sj->find("level")->asString(), "series");
+  EXPECT_EQ(static_cast<std::uint64_t>(
+                sj->find("delivered_packets")->asNumber()),
+            summary.deliveredPackets);
+  EXPECT_EQ(static_cast<std::uint64_t>(
+                sj->find("va_grants_native")->asNumber()),
+            summary.vaGrantsNative);
+  EXPECT_EQ(static_cast<std::uint64_t>(sj->find("dpa_flips")->asNumber()),
+            summary.dpaFlips);
+  const auto* mlist = sj->find("metrics");
+  ASSERT_NE(mlist, nullptr);
+  EXPECT_GE(mlist->asArray().size(), 8u);  // all registered metrics
+
+  // ---- counters.csv: one row per router --------------------------------
+  const std::string csv = readFile(run.prefix + "counters.csv");
+  std::istringstream csvLines(csv);
+  std::size_t csvRows = 0;
+  std::string header;
+  ASSERT_TRUE(std::getline(csvLines, header));
+  EXPECT_EQ(header.rfind("router,", 0), 0u);
+  EXPECT_NE(header.find("va_grants"), std::string::npos);
+  EXPECT_NE(header.find("dpa_flips"), std::string::npos);
+  while (std::getline(csvLines, line))
+    if (!line.empty()) ++csvRows;
+  EXPECT_EQ(csvRows, 64u);  // 8x8 mesh
+}
+
+TEST(MetricsSeries, SummaryLevelWritesNoSeriesSink) {
+  const std::string prefix = ::testing::TempDir() + "rair_summary_only.";
+  Mesh m(4, 4);
+  const auto rm = RegionMap::halves(m);
+  SimConfig cfg;
+  cfg.warmupCycles = 100;
+  cfg.measureCycles = 1'000;
+  cfg.drainLimit = 30'000;
+  metrics::MetricsOptions mo;
+  mo.level = metrics::MetricsLevel::Summary;
+  mo.outPrefix = prefix;
+  const auto res = runScenario(ScenarioSpec(m, rm)
+                                   .withConfig(cfg)
+                                   .withScheme(schemeRoRr())
+                                   .withApps(scenarios::twoAppInterRegion(
+                                       0.3, 0.05, 0.1))
+                                   .withMetrics(mo));
+  ASSERT_TRUE(res.metrics.has_value());
+  EXPECT_TRUE(std::ifstream(prefix + "summary.json").good());
+  EXPECT_TRUE(std::ifstream(prefix + "counters.csv").good());
+  EXPECT_FALSE(std::ifstream(prefix + "series.jsonl").good());
+}
+
+}  // namespace
+}  // namespace rair

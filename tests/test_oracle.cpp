@@ -178,18 +178,30 @@ TEST(FuzzHarness, SmokeRunIsClean) {
 }
 
 TEST(FuzzHarness, InjectedFaultsAreCaught) {
-  // The self-test of the whole subsystem: every dropped credit must make
-  // the oracle report a violation.
+  // The self-test of the whole subsystem: every injected fault -- whether
+  // a dropped credit or a corrupted metrics counter cell -- must make the
+  // oracle report a violation.
   check::FuzzOptions opts;
-  opts.scenarios = 4;
+  opts.scenarios = 6;
   opts.seed = 23;
   opts.injectFault = true;
-  const check::FuzzSummary sum = check::runFuzz(opts);
-  EXPECT_EQ(sum.casesRun, 8);
+  int creditFaults = 0;
+  int counterFaults = 0;
+  const check::FuzzSummary sum =
+      check::runFuzz(opts, [&](int, const check::FuzzCaseResult& res) {
+        if (!res.faultInjected) return;
+        if (res.faultKind == "credit") ++creditFaults;
+        if (res.faultKind == "counter") ++counterFaults;
+      });
+  EXPECT_EQ(sum.casesRun, 12);
   EXPECT_EQ(sum.faultsMissed, 0);
   // At these loads an idle network is essentially impossible; if every
   // case skipped, the self-test would be vacuous.
   EXPECT_LT(sum.faultsSkipped, sum.casesRun);
+  // The case seed alternates the corruption model; with six cases both
+  // kinds must have been exercised.
+  EXPECT_GT(creditFaults, 0);
+  EXPECT_GT(counterFaults, 0);
 }
 
 TEST(FuzzHarness, ReproPathReproducesCleanRun) {

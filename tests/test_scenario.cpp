@@ -133,30 +133,6 @@ TEST(Scenario, SixAppScenarioRunsAllSchemes) {
   }
 }
 
-// The legacy positional overload must keep forwarding faithfully for one
-// release. This test is its only remaining in-repo caller.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Scenario, DeprecatedOverloadForwardsToSpec) {
-  Mesh m(8, 8);
-  const auto rm = RegionMap::halves(m);
-  const auto apps = scenarios::twoAppInterRegion(0.5, 0.05, 0.2);
-  ScenarioOptions opts;
-  opts.seed = 7;
-  const auto legacy = runScenario(m, rm, shortCfg(), schemeRoRr(), apps, opts);
-  const auto spec = runScenario(ScenarioSpec(m, rm)
-                                    .withConfig(shortCfg())
-                                    .withScheme(schemeRoRr())
-                                    .withApps(apps)
-                                    .withSeed(7));
-  ASSERT_EQ(legacy.appApl.size(), spec.appApl.size());
-  for (std::size_t a = 0; a < legacy.appApl.size(); ++a)
-    EXPECT_DOUBLE_EQ(legacy.appApl[a], spec.appApl[a]);
-  EXPECT_DOUBLE_EQ(legacy.meanApl, spec.meanApl);
-  EXPECT_EQ(legacy.run.packetsCreated, spec.run.packetsCreated);
-}
-#pragma GCC diagnostic pop
-
 TEST(Scenario, SameSeedSameResult) {
   Mesh m(8, 8);
   const auto rm = RegionMap::halves(m);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 namespace rair {
 namespace {
 
@@ -79,6 +82,107 @@ Packet mkPacket(AppId app, Cycle create, Cycle inject, Cycle eject,
   p.ejectCycle = eject;
   p.hops = hops;
   return p;
+}
+
+// ---- LatencyStats property tests -----------------------------------------
+//
+// The digest must behave like a CRDT: sharding a sample stream across
+// collectors and merging reproduces the single-stream digest exactly, in
+// any merge order. This is the property the parallel campaign runner and
+// the per-app/overall aggregation both rest on.
+
+namespace {
+// SplitMix64: deterministic, dependency-free sample generator.
+std::uint64_t nextRand(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+void expectSameDigest(const LatencyStats& a, const LatencyStats& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_DOUBLE_EQ(a.sum(), b.sum());
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+  EXPECT_DOUBLE_EQ(a.min(), b.min());
+  EXPECT_DOUBLE_EQ(a.max(), b.max());
+  EXPECT_DOUBLE_EQ(a.variance(), b.variance());
+  const auto ha = a.histogram();
+  const auto hb = b.histogram();
+  ASSERT_EQ(ha.size(), hb.size());
+  for (std::size_t k = 0; k < ha.size(); ++k) EXPECT_EQ(ha[k], hb[k]);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(a.approxQuantile(q), b.approxQuantile(q));
+}
+}  // namespace
+
+TEST(LatencyStatsProperty, MergedShardsMatchSingleStream) {
+  for (int shards : {1, 2, 3, 7}) {
+    std::uint64_t rng = 0xC0FFEEull + static_cast<std::uint64_t>(shards);
+    LatencyStats single;
+    std::vector<LatencyStats> parts(static_cast<std::size_t>(shards));
+    for (int i = 0; i < 800; ++i) {
+      // Mix of sub-1.0, mid-range and heavy-tail samples across buckets.
+      const double v =
+          static_cast<double>(nextRand(rng) % 2'000'000) / 128.0;
+      single.record(v);
+      parts[nextRand(rng) % static_cast<std::uint64_t>(shards)].record(v);
+    }
+    LatencyStats merged;
+    for (const auto& p : parts) merged.merge(p);
+    expectSameDigest(merged, single);
+  }
+}
+
+TEST(LatencyStatsProperty, MergeIsOrderIndependent) {
+  std::uint64_t rng = 0xABCDEFull;
+  std::vector<LatencyStats> parts(5);
+  for (int i = 0; i < 300; ++i)
+    parts[nextRand(rng) % parts.size()].record(
+        static_cast<double>(nextRand(rng) % 10'000) / 7.0);
+
+  LatencyStats forward, backward;
+  for (std::size_t k = 0; k < parts.size(); ++k) forward.merge(parts[k]);
+  for (std::size_t k = parts.size(); k-- > 0;) backward.merge(parts[k]);
+  expectSameDigest(forward, backward);
+}
+
+TEST(LatencyStatsProperty, MergeWithEmptyIsIdentity) {
+  LatencyStats s;
+  for (double v : {3.0, 14.0, 159.0}) s.record(v);
+  LatencyStats copy = s;
+  LatencyStats empty;
+  copy.merge(empty);
+  expectSameDigest(copy, s);
+
+  LatencyStats other;
+  other.merge(s);
+  expectSameDigest(other, s);
+}
+
+TEST(LatencyStatsProperty, QuantileEdgeCases) {
+  LatencyStats empty;
+  EXPECT_EQ(empty.approxQuantile(0.0), 0.0);
+  EXPECT_EQ(empty.approxQuantile(0.5), 0.0);
+  EXPECT_EQ(empty.approxQuantile(1.0), 0.0);
+
+  LatencyStats one;
+  one.record(42.0);  // bucket [32,64): every quantile lands there
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_GE(one.approxQuantile(q), 32.0);
+    EXPECT_LE(one.approxQuantile(q), 64.0);
+  }
+
+  LatencyStats s;
+  for (int i = 0; i < 99; ++i) s.record(2.5);  // bucket [2,4)
+  s.record(1000.0);                            // bucket [512,1024)
+  // q=0 is the lowest occupied bucket, q=1 the highest; out-of-range q
+  // clamps rather than reading past the histogram.
+  EXPECT_LE(s.approxQuantile(0.0), 4.0);
+  EXPECT_GE(s.approxQuantile(1.0), 512.0);
+  EXPECT_DOUBLE_EQ(s.approxQuantile(-3.0), s.approxQuantile(0.0));
+  EXPECT_DOUBLE_EQ(s.approxQuantile(7.0), s.approxQuantile(1.0));
 }
 
 TEST(StatsCollector, MeasurementWindowFilters) {

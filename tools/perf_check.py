@@ -3,13 +3,20 @@
 
 Usage:
     perf_check.py --baseline BENCH_core_hotpath.json --current run.json \
-                  [--max-regression 0.25] [--metric cycles_per_sec]
+                  [--max-regression 0.25] [--metric cycles_per_sec] \
+                  [--paired-suffix _metrics --max-overhead 0.02]
 
 Both files are google-benchmark JSON (--benchmark_format=json). The check
 fails (exit 1) when any benchmark present in both files regresses by more
 than --max-regression on the chosen rate metric (higher is better). New or
 removed benchmarks are reported but do not fail the check; regenerate the
 baseline when the suite changes intentionally.
+
+With --paired-suffix, the check additionally compares, WITHIN the current
+file, every benchmark named "X<suffix>" against its bare twin "X" and
+fails when the suffixed variant is more than --max-overhead slower — the
+guard that keeps default-level metrics collection effectively free on the
+per-cycle hot path.
 """
 
 import argparse
@@ -44,6 +51,12 @@ def main():
     ap.add_argument("--metric", default="cycles_per_sec",
                     help="rate counter to compare, higher is better "
                          "(default cycles_per_sec)")
+    ap.add_argument("--paired-suffix", default=None,
+                    help="also compare every 'X<suffix>' benchmark in the "
+                         "current file against its bare twin 'X'")
+    ap.add_argument("--max-overhead", type=float, default=0.02,
+                    help="maximum tolerated fractional slowdown of a "
+                         "suffixed variant vs. its twin (default 0.02)")
     args = ap.parse_args()
 
     base = load_metrics(args.baseline, args.metric)
@@ -65,9 +78,28 @@ def main():
     for name in sorted(set(cur) - set(base)):
         print(f"       NEW  {name} (not in baseline)")
 
+    if args.paired_suffix:
+        suffix = args.paired_suffix
+        pairs = [(n[: -len(suffix)], n) for n in sorted(cur)
+                 if n.endswith(suffix) and n[: -len(suffix)] in cur]
+        if not pairs:
+            sys.exit(f"perf_check: --paired-suffix {suffix!r} matched no "
+                     f"benchmark pairs in {args.current}")
+        for bare, suffixed in pairs:
+            b, c = cur[bare], cur[suffixed]
+            ratio = c / b if b > 0 else float("inf")
+            overhead = 1.0 - ratio
+            status = "ok"
+            if overhead > args.max_overhead:
+                status = "OVERHEAD"
+                failures.append(suffixed)
+            print(f"  {status:>10}  {suffixed} vs {bare}: {args.metric} "
+                  f"{c:,.0f} vs {b:,.0f} ({overhead:+.1%} overhead, "
+                  f"limit {args.max_overhead:.0%})")
+
     if failures:
-        print(f"perf_check: {len(failures)} benchmark(s) regressed more "
-              f"than {args.max_regression:.0%} on {args.metric}")
+        print(f"perf_check: {len(failures)} benchmark(s) out of tolerance "
+              f"on {args.metric}")
         return 1
     print("perf_check: within tolerance")
     return 0

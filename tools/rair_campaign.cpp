@@ -17,6 +17,7 @@
 #include "campaign/builtin.h"
 #include "campaign/runner.h"
 #include "campaign/store.h"
+#include "metrics/metrics.h"
 
 namespace {
 
@@ -33,12 +34,22 @@ void usage(std::FILE* to) {
       "  --seed N      campaign master seed (default: 1)\n"
       "  --fast        5x-shrunk simulation windows (= RAIR_BENCH_FAST=1)\n"
       "  --fresh       discard an existing results file instead of resuming\n"
-      "  --no-table    skip the paper-style table rendering\n");
+      "  --no-table    skip the paper-style table rendering\n"
+      "  --metrics LEVEL\n"
+      "                instrumentation level: off, counters (default),\n"
+      "                summary, series. summary+ embeds aggregate metrics\n"
+      "                in each cell record (default records stay\n"
+      "                byte-identical to uninstrumented runs)\n"
+      "  --metrics-out PREFIX\n"
+      "                write per-cell metrics sinks (summary.json,\n"
+      "                counters.csv, series.jsonl) under\n"
+      "                PREFIX<campaign>_<key>.\n");
 }
 
 struct Args {
   std::string name;
   std::string out;
+  rair::metrics::MetricsOptions metrics;
   int jobs = 0;
   std::uint64_t seed = 1;
   bool fast = false;
@@ -81,6 +92,20 @@ bool parseArgs(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--metrics") {
+      const char* v = next();
+      if (!v) return false;
+      const auto level = rair::metrics::metricsLevelFromName(v);
+      if (!level) {
+        std::fprintf(stderr, "unknown metrics level '%s' (expected off, "
+                             "counters, summary or series)\n", v);
+        return false;
+      }
+      args.metrics.level = *level;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return false;
+      args.metrics.outPrefix = v;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -129,6 +154,7 @@ int main(int argc, char** argv) {
     JsonlWriter writer(args.out);
     BuildContext ctx = defaultBuildContext(args.fast);
     ctx.campaignSeed = args.seed;
+    ctx.metrics = args.metrics;
     ctx.log = logLine;
     auto memo = std::make_shared<std::map<std::string, double>>(data.values);
     const std::string name = args.name;

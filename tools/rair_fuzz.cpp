@@ -37,8 +37,10 @@ void usage(std::FILE* to) {
       "                       0 disables (default: 20000)\n"
       "  --drain-budget N     post-cutoff cycles before a failed drain is\n"
       "                       itself a violation (default: 60000)\n"
-      "  --inject-fault       self-test: drop one credit per case and\n"
-      "                       require the oracle to catch every drop\n"
+      "  --inject-fault       self-test: inject one fault per case --\n"
+      "                       alternating between dropping a credit and\n"
+      "                       corrupting a metrics counter cell -- and\n"
+      "                       require the oracle to catch every one\n"
       "  --repro SEED         replay one case seed (decimal or 0x hex)\n"
       "  --no-shrink          report failures without shrinking\n"
       "  --quiet              suppress per-case progress dots\n");
@@ -166,13 +168,25 @@ int main(int argc, char** argv) {
                     res.scheme.c_str(),
                     static_cast<unsigned long long>(res.report.scans),
                     static_cast<unsigned long long>(res.report.deadlockScans),
-                    res.faultInjected ? ", fault injected" : "");
+                    res.faultInjected
+                        ? (res.faultKind == "counter"
+                               ? ", counter fault injected"
+                               : ", credit fault injected")
+                        : "");
       }
     }
     return anyFail ? 1 : 0;
   }
 
+  int creditFaults = 0;
+  int counterFaults = 0;
   const FuzzProgress progress = [&](int index, const FuzzCaseResult& res) {
+    if (res.faultInjected) {
+      if (res.faultKind == "counter")
+        ++counterFaults;
+      else
+        ++creditFaults;
+    }
     if (args.quiet) return;
     // In fault mode the interesting outcome is a MISS (fault injected but
     // not caught); in normal mode it is any failure.
@@ -189,8 +203,10 @@ int main(int argc, char** argv) {
 
   if (args.opts.injectFault) {
     std::printf(
-        "fault self-test: %d runs, %d faults missed, %d skipped (idle)\n",
-        sum.casesRun, sum.faultsMissed, sum.faultsSkipped);
+        "fault self-test: %d runs (%d credit, %d counter faults), "
+        "%d faults missed, %d skipped (idle)\n",
+        sum.casesRun, creditFaults, counterFaults, sum.faultsMissed,
+        sum.faultsSkipped);
     if (sum.faultsMissed > 0) {
       std::fprintf(stderr,
                    "ERROR: oracle missed %d injected faults (base seed "
