@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/rair_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/rair_alloc_tests[1]_include.cmake")
