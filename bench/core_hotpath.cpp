@@ -46,7 +46,7 @@ struct HotLoop {
   std::optional<metrics::MetricsRecorder> recorder;
 
   HotLoop(const SchemeSpec& scheme, double app1Fraction,
-          bool withMetrics = false)
+          bool withMetrics = false, bool withSnapshotHook = false)
       : regions(RegionMap::halves(mesh)) {
     const auto apps = scenarios::twoAppInterRegion(
         /*p=*/1.0, scenarios::kLowLoadFraction * kHalfSat,
@@ -76,14 +76,23 @@ struct HotLoop {
                        kWarmupCycles);
       sim->addObserver(&*recorder);
     }
+    if (withSnapshotHook) {
+      // An installed hook that never fires (save point at kNeverCycle, no
+      // periodic interval): the *_snapshot variants measure the armed
+      // per-cycle snapshot predicate, the only cost runScenario pays when
+      // warm caching or checkpointing is requested but no save is due.
+      sim->setSnapshotHook([](const Simulator&, Cycle) {}, kNeverCycle,
+                           /*every=*/0);
+    }
     sim->begin();
     for (Cycle c = 0; c < kWarmupCycles; ++c) sim->stepCycle();
   }
 };
 
 void BM_hotpath(benchmark::State& st, const SchemeSpec& scheme,
-                double app1Fraction, bool withMetrics = false) {
-  HotLoop loop(scheme, app1Fraction, withMetrics);
+                double app1Fraction, bool withMetrics = false,
+                bool withSnapshotHook = false) {
+  HotLoop loop(scheme, app1Fraction, withMetrics, withSnapshotHook);
   const std::uint64_t hops0 = loop.sim->network().totalFlitsTraversed();
   std::uint64_t cycles = 0;
   for (auto _ : st) {
@@ -118,6 +127,16 @@ BENCHMARK_CAPTURE(BM_hotpath, ro_rr_knee_metrics, schemeRoRr(), 0.85, true)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_hotpath, ra_rair_knee_metrics, schemeRaRair(), 0.85,
                   true)
+    ->Unit(benchmark::kMillisecond);
+
+// Same knee workloads with a snapshot hook installed but never firing:
+// the "_snapshot" suffix pairs each with its bare twin so perf_check.py
+// can bound the armed snapshot predicate overhead (<= 2%).
+BENCHMARK_CAPTURE(BM_hotpath, ro_rr_knee_snapshot, schemeRoRr(), 0.85,
+                  /*withMetrics=*/false, /*withSnapshotHook=*/true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_hotpath, ra_rair_knee_snapshot, schemeRaRair(), 0.85,
+                  /*withMetrics=*/false, /*withSnapshotHook=*/true)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

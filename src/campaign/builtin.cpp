@@ -122,14 +122,15 @@ metrics::MetricsOptions cellMetricsOptions(
 
 ScenarioResult runCell(const Fixture& fx, const SimConfig& cfg,
                        const SchemeSpec& scheme,
-                       std::vector<AppTrafficSpec> apps, std::uint64_t seed,
+                       std::vector<AppTrafficSpec> apps,
+                       const CellContext& ctx,
                        const metrics::MetricsOptions& mo) {
-  return runScenario(ScenarioSpec(*fx.mesh, *fx.regions)
-                         .withConfig(cfg)
-                         .withScheme(scheme)
-                         .withApps(std::move(apps))
-                         .withMetrics(mo)
-                         .withSeed(seed));
+  ScenarioSpec spec = ScenarioSpec(*fx.mesh, *fx.regions)
+                          .withConfig(cfg)
+                          .withScheme(scheme)
+                          .withApps(std::move(apps))
+                          .withMetrics(mo);
+  return runScenario(ctx.applyTo(spec));
 }
 
 // ---- Figs. 9 and 10: two half-chip apps, inter-region fraction sweep ----
@@ -167,11 +168,11 @@ CampaignSpec twoAppSweepCampaign(const std::string& name, BuildContext& ctx,
       cell.key = s.label + "/p" + std::to_string(p);
       cell.labels = {{"scheme", s.label}, {"p", std::to_string(p)}};
       const auto mo = cellMetricsOptions(ctx.metrics, name, cell.key);
-      cell.run = [fx, cfg, s, p, sat, mo](std::uint64_t seed) {
+      cell.run = [fx, cfg, s, p, sat, mo](const CellContext& ctx) {
         const auto apps = scenarios::twoAppInterRegion(
             p / 100.0, scenarios::kLowLoadFraction * sat,
             scenarios::kHighLoadFraction * sat);
-        return runCell(fx, cfg, s, apps, seed, mo);
+        return runCell(fx, cfg, s, apps, ctx, mo);
       };
       spec.add(std::move(cell));
     }
@@ -310,11 +311,11 @@ CampaignSpec buildFig12(BuildContext& ctx) {
                      {"scenario", std::string(1, scen)}};
       const std::vector<double> r = rates[scen];
       const auto mo = cellMetricsOptions(ctx.metrics, spec.name, cell.key);
-      cell.run = [fx, cfg, s, scen, r, mo](std::uint64_t seed) {
+      cell.run = [fx, cfg, s, scen, r, mo](const CellContext& ctx) {
         auto shapes = scen == 'a' ? scenarios::fourAppLowTowardHigh(0, 0)
                                   : scenarios::fourAppHighTowardLow(0, 0);
         for (std::size_t a = 0; a < 4; ++a) shapes[a].injectionRate = r[a];
-        return runCell(fx, cfg, s, shapes, seed, mo);
+        return runCell(fx, cfg, s, shapes, ctx, mo);
       };
       spec.add(std::move(cell));
     }
@@ -386,9 +387,9 @@ void addSixAppCells(CampaignSpec& spec, const Fixture& fx,
     cell.labels = {{"scheme", s.label}};
     if (keyByPattern) cell.labels.emplace_back("pattern", pname);
     const auto mo = cellMetricsOptions(baseMo, spec.name, cell.key);
-    cell.run = [fx, cfg, s, pattern, rates, mo](std::uint64_t seed) {
+    cell.run = [fx, cfg, s, pattern, rates, mo](const CellContext& ctx) {
       const auto apps = scenarios::sixAppMixed(pattern, rates);
-      return runCell(fx, cfg, s, apps, seed, mo);
+      return runCell(fx, cfg, s, apps, ctx, mo);
     };
     spec.add(std::move(cell));
   }
@@ -516,7 +517,8 @@ CampaignSpec buildAblRegions(BuildContext& ctx) {
       cell.labels = {{"regions", std::to_string(count)},
                      {"scheme", rairScheme ? "RA_RAIR" : "RO_RR"}};
       const auto mo = cellMetricsOptions(ctx.metrics, spec.name, cell.key);
-      cell.run = [fx, cfg, count, rairScheme, rates, mo](std::uint64_t seed) {
+      cell.run = [fx, cfg, count, rairScheme, rates,
+                  mo](const CellContext& ctx) {
         std::vector<AppTrafficSpec> shapes(
             static_cast<std::size_t>(count));
         for (AppId a = 0; a < count; ++a) {
@@ -528,7 +530,7 @@ CampaignSpec buildAblRegions(BuildContext& ctx) {
           s.injectionRate = rates[static_cast<std::size_t>(a)];
         }
         return runCell(fx, cfg, rairScheme ? schemeRaRair() : schemeRoRr(),
-                       shapes, seed, mo);
+                       shapes, ctx, mo);
       };
       spec.add(std::move(cell));
     }

@@ -80,13 +80,28 @@ struct CellRecord {
   static std::optional<CellRecord> fromJson(const class JsonValue& v);
 };
 
+/// Everything the runner hands a cell for one execution: the derived RNG
+/// seed plus the campaign-wide snapshot configuration (warm-state cache
+/// directory, checkpoint directory) the cell should apply to its
+/// ScenarioSpec. A default-constructed context (seed only) reproduces the
+/// cell standalone.
+struct CellContext {
+  std::uint64_t seed = 0;
+  snapshot::SnapshotOptions snap;
+
+  /// Applies this context to a spec (seed + snapshot options).
+  ScenarioSpec& applyTo(ScenarioSpec& spec) const {
+    return spec.withSeed(seed).withSnapshot(snap);
+  }
+};
+
 /// One simulation cell of a campaign grid.
 struct CampaignCell {
   std::string key;
   std::vector<std::pair<std::string, std::string>> labels;
-  /// Runs the cell's simulation with the given derived RNG seed. Must be
-  /// pure (no shared mutable state): cells execute concurrently.
-  std::function<ScenarioResult(std::uint64_t seed)> run;
+  /// Runs the cell's simulation under the given context. Must be pure (no
+  /// shared mutable state): cells execute concurrently.
+  std::function<ScenarioResult(const CellContext&)> run;
 };
 
 /// Read-only index over completed records, keyed by cell key; what table

@@ -56,11 +56,16 @@ CampaignSummary runCampaign(const CampaignSpec& spec,
       if (slot >= pending.size()) return;
       const std::size_t i = pending[slot];
       const CampaignCell& cell = spec.cells[i];
-      const std::uint64_t seed = cellSeed(spec.campaignSeed, i);
+      CellContext ctx;
+      ctx.seed = cellSeed(spec.campaignSeed, i);
+      ctx.snap.warmCacheDir = options.warmCacheDir;
+      ctx.snap.checkpointDir = options.checkpointDir;
+      ctx.snap.checkpointEvery = options.checkpointEvery;
 
       const auto t0 = std::chrono::steady_clock::now();
-      const ScenarioResult result = cell.run(seed);
-      CellRecord rec = makeCellRecord(spec, cell, seed, result, msSince(t0));
+      const ScenarioResult result = cell.run(ctx);
+      CellRecord rec =
+          makeCellRecord(spec, cell, ctx.seed, result, msSince(t0));
 
       writer.writeLine(rec.toJsonLine());
       // Distinct slots: no lock needed for the record itself.
@@ -112,10 +117,11 @@ const CellRecord& LazyCampaign::cell(const std::string& key) {
   RAIR_CHECK_MSG(it != index_.end(), "unknown campaign cell key");
   const std::size_t i = it->second;
   const CampaignCell& c = spec_.cells[i];
-  const std::uint64_t seed = cellSeed(spec_.campaignSeed, i);
+  CellContext ctx;
+  ctx.seed = cellSeed(spec_.campaignSeed, i);
   const auto t0 = std::chrono::steady_clock::now();
-  const ScenarioResult result = c.run(seed);
-  CellRecord rec = makeCellRecord(spec_, c, seed, result, msSince(t0));
+  const ScenarioResult result = c.run(ctx);
+  CellRecord rec = makeCellRecord(spec_, c, ctx.seed, result, msSince(t0));
   return done_.emplace(key, std::move(rec)).first->second;
 }
 

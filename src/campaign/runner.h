@@ -25,6 +25,15 @@ struct RunnerOptions {
   int jobs = 0;         ///< worker threads; 0 = hardware_concurrency
   std::string outPath;  ///< JSON Lines sink; empty disables persistence
   bool resume = true;   ///< skip cells already recorded in outPath
+  /// Warm-state cache directory shared by all cells (snapshot subsystem);
+  /// empty disables warm caching.
+  std::string warmCacheDir;
+  /// Checkpoint directory: each running cell refreshes a per-cell
+  /// checkpoint every `checkpointEvery` cycles, and an interrupted
+  /// campaign resumes unfinished cells from their last checkpoint. Empty
+  /// disables checkpointing.
+  std::string checkpointDir;
+  Cycle checkpointEvery = 25'000;
   /// Progress reporting (one line per completed cell); null = silent.
   std::function<void(const std::string&)> log;
 };

@@ -9,6 +9,7 @@
 // across library versions.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace rair {
@@ -45,6 +46,16 @@ class Xoshiro256StarStar {
   /// Creates an independent generator by jumping this one's sequence
   /// forward 2^128 steps; useful for giving each node its own stream.
   Xoshiro256StarStar split();
+
+  /// The four raw state words — snapshot save/restore. Restoring a saved
+  /// state replays the exact draw sequence from that point.
+  std::array<std::uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void setState(const std::array<std::uint64_t, 4>& s) {
+    s_[0] = s[0];
+    s_[1] = s[1];
+    s_[2] = s[2];
+    s_[3] = s[3];
+  }
 
  private:
   std::uint64_t s_[4];

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "snapshot/buffer.h"
+
 namespace rair {
 
 void DpaState::update(const RouterOccupancy& occ) {
@@ -26,6 +28,18 @@ void DpaState::update(const RouterOccupancy& occ) {
     nativeHigh_ = false;
     ++flips_;
   }
+}
+
+void DpaState::save(snapshot::Writer& w) const {
+  w.boolean(nativeHigh_);
+  w.f64(lastRatio_);
+  w.u64(flips_);
+}
+
+void DpaState::restore(snapshot::Reader& r) {
+  nativeHigh_ = r.boolean();
+  lastRatio_ = r.f64();
+  flips_ = r.u64();
 }
 
 }  // namespace rair

@@ -47,6 +47,10 @@ class DpaState final : public PolicyState {
   /// construction — the flip count behind Fig. 11/13-style traces.
   std::uint64_t flips() const { return flips_; }
 
+  // Snapshot hooks: the hysteresis registers (delta_ is configuration).
+  void save(snapshot::Writer& w) const override;
+  void restore(snapshot::Reader& r) override;
+
  private:
   double delta_;
   bool nativeHigh_ = false;  ///< default: foreign high (paper Sec. IV.C)

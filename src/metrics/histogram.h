@@ -78,6 +78,26 @@ class Histogram {
     return max_;
   }
 
+  /// The complete internal state as a plain value — snapshot save/restore
+  /// (min_/max_ keep their infinity sentinels when empty, so a restored
+  /// histogram is bit-identical to the original).
+  struct RawState {
+    std::uint64_t count;
+    double sum, sumSq, min, max;
+    std::array<std::uint64_t, kBuckets> buckets;
+  };
+  RawState rawState() const {
+    return {count_, sum_, sumSq_, min_, max_, buckets_};
+  }
+  void setRawState(const RawState& s) {
+    count_ = s.count;
+    sum_ = s.sum;
+    sumSq_ = s.sumSq;
+    min_ = s.min;
+    max_ = s.max;
+    buckets_ = s.buckets;
+  }
+
   void merge(const Histogram& other) {
     count_ += other.count_;
     sum_ += other.sum_;

@@ -1,5 +1,7 @@
 #include "packet/pool.h"
 
+#include "snapshot/codec.h"
+
 namespace rair {
 
 PacketPool::PacketPool(std::uint32_t reserveSlots, std::uint32_t maxLive)
@@ -47,6 +49,37 @@ const Packet& PacketPool::get(PacketId id) const {
 
 const Packet* PacketPool::find(PacketId id) const {
   return isLive(id) ? &slots_[slotOf(id)].pkt : nullptr;
+}
+
+void PacketPool::save(snapshot::Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(slots_.size()));
+  for (const Slot& s : slots_) {
+    w.u32(s.generation);
+    w.boolean(s.live);
+    if (s.live) snapshot::savePacket(w, s.pkt);
+  }
+  w.u32(static_cast<std::uint32_t>(freeList_.size()));
+  for (const std::uint32_t slot : freeList_) w.u32(slot);
+  w.u64(live_);
+}
+
+void PacketPool::restore(snapshot::Reader& r) {
+  const std::uint32_t numSlots = r.u32();
+  slots_.clear();
+  slots_.resize(numSlots);
+  for (Slot& s : slots_) {
+    s.generation = r.u32();
+    s.live = r.boolean();
+    if (s.live)
+      snapshot::restorePacket(r, s.pkt);
+    else
+      s.pkt = Packet{};
+  }
+  const std::uint32_t numFree = r.u32();
+  freeList_.clear();
+  freeList_.reserve(numFree);
+  for (std::uint32_t i = 0; i < numFree; ++i) freeList_.push_back(r.u32());
+  live_ = static_cast<std::size_t>(r.u64());
 }
 
 void PacketPool::release(PacketId id) {

@@ -18,6 +18,11 @@
 #include "common/assert.h"
 #include "packet/packet.h"
 
+namespace rair::snapshot {
+class Writer;
+class Reader;
+}  // namespace rair::snapshot
+
 namespace rair {
 
 class PacketPool {
@@ -68,6 +73,15 @@ class PacketPool {
     for (const Slot& s : slots_)
       if (s.live) fn(s.pkt);
   }
+
+  /// Snapshot hooks: slab occupancy, generation tags and free-list order
+  /// are all behavioural state (they decide every future PacketId), so the
+  /// restored pool hands out the exact id sequence the saved one would.
+  /// Dead slots' packet contents are deliberately not captured — they are
+  /// unreachable, and zeroing them on restore keeps save→restore→save
+  /// byte-stable.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   struct Slot {

@@ -24,6 +24,11 @@
 #include "packet/packet.h"
 #include "router/vc.h"
 
+namespace rair::snapshot {
+class Writer;
+class Reader;
+}  // namespace rair::snapshot
+
 namespace rair {
 
 /// Arbitration step at which a priority is being requested.
@@ -49,6 +54,12 @@ struct ArbCandidate {
 class PolicyState {
  public:
   virtual ~PolicyState() = default;
+
+  /// Snapshot hooks: serialize/deserialize the mutable state (not the
+  /// configuration, which the owning router reconstructs). Stateless
+  /// subclasses inherit the no-ops.
+  virtual void save(snapshot::Writer& w) const { (void)w; }
+  virtual void restore(snapshot::Reader& r) { (void)r; }
 };
 
 /// VC occupancy snapshot a router hands to the policy once per cycle.

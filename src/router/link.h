@@ -63,6 +63,14 @@ class DelayPipe {
   /// cycle — introspection for the simulation oracle and tests.
   const std::pair<Cycle, T>& entry(std::size_t i) const { return q_[i]; }
 
+  // Snapshot restore: rebuild the queue from saved absolute arrival
+  // cycles. pushAbsolute() must be called in saved (front-to-back) order.
+  void clearForRestore() { q_.clear(); }
+  void pushAbsolute(Cycle arrival, T v) {
+    RAIR_DCHECK(q_.empty() || q_[q_.size() - 1].first <= arrival);
+    q_.push_back({arrival, std::move(v)});
+  }
+
  private:
   Cycle latency_;
   RingQueue<std::pair<Cycle, T>> q_;
@@ -106,6 +114,10 @@ class Link {
   /// (flit census, credit round-trip accounting) and tests.
   const DelayPipe<FlitMsg>& flitPipe() const { return data_; }
   const DelayPipe<CreditMsg>& creditPipe() const { return credits_; }
+
+  /// Mutable pipe access for snapshot restore only.
+  DelayPipe<FlitMsg>& flitPipeMut() { return data_; }
+  DelayPipe<CreditMsg>& creditPipeMut() { return credits_; }
 
  private:
   DelayPipe<FlitMsg> data_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "snapshot/codec.h"
+
 namespace rair {
 
 namespace {
@@ -472,6 +474,97 @@ void Router::switchAllocateAndTraverse(Cycle now) {
 void Router::endCycle(Cycle /*now*/) {
   // O(1): the occupancy registers are maintained incrementally.
   prevOccupancy_ = occupancy();
+}
+
+void Router::save(snapshot::Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(inputs_.size()));
+  for (const InputVc& ivc : inputs_) {
+    w.u8(static_cast<std::uint8_t>(ivc.state));
+    snapshot::saveRing(w, ivc.buf, snapshot::saveFlit);
+    snapshot::saveRoute(w, ivc.route);
+    w.i32(ivc.outPort);
+    w.i32(ivc.outVc);
+    w.u64(ivc.ready);
+    w.u8(ivc.occClass);
+  }
+  for (const OutputVc& ovc : outputs_) {
+    w.i32(ovc.credits);
+    w.boolean(ovc.allocated);
+    w.i32(ovc.ownerPort);
+    w.i32(ovc.ownerVc);
+  }
+  for (const int rr : vaRr_) w.i32(rr);
+  for (const int rr : saInRr_) w.i32(rr);
+  for (const int rr : saOutRr_) w.i32(rr);
+  w.i32(prevOccupancy_.nativeOccupiedVcs);
+  w.i32(prevOccupancy_.foreignOccupiedVcs);
+  w.u64(counters_.vaGrantsNative);
+  w.u64(counters_.vaGrantsForeign);
+  w.u64(counters_.saGrantsNative);
+  w.u64(counters_.saGrantsForeign);
+  w.u64(counters_.escapeAllocations);
+  w.u64(counters_.flitsTraversed);
+  for (const std::uint64_t f : counters_.portFlits) w.u64(f);
+  w.i32(flitsMovedThisCycle_);
+  w.i32(flitsMovedLastCycle_);
+  w.i32(occNative_);
+  w.i32(occForeign_);
+  for (const int f : freeAdaptive_) w.i32(f);
+  w.i32(pendingRc_);
+  w.i32(pendingVa_);
+  w.i32(numActive_);
+  for (const std::uint64_t m : routingMask_) w.u64(m);
+  for (const std::uint64_t m : waitingMask_) w.u64(m);
+  for (const std::uint64_t m : activeMask_) w.u64(m);
+  w.boolean(policyState_ != nullptr);
+  if (policyState_) policyState_->save(w);
+}
+
+void Router::restore(snapshot::Reader& r) {
+  RAIR_CHECK_MSG(r.u32() == inputs_.size(),
+                 "router restore: VC count mismatch");
+  for (InputVc& ivc : inputs_) {
+    ivc.state = static_cast<VcState>(r.u8());
+    snapshot::restoreRing(r, ivc.buf, snapshot::restoreFlit);
+    snapshot::restoreRoute(r, ivc.route);
+    ivc.outPort = r.i32();
+    ivc.outVc = r.i32();
+    ivc.ready = r.u64();
+    ivc.occClass = r.u8();
+  }
+  for (OutputVc& ovc : outputs_) {
+    ovc.credits = r.i32();
+    ovc.allocated = r.boolean();
+    ovc.ownerPort = r.i32();
+    ovc.ownerVc = r.i32();
+  }
+  for (int& rr : vaRr_) rr = r.i32();
+  for (int& rr : saInRr_) rr = r.i32();
+  for (int& rr : saOutRr_) rr = r.i32();
+  prevOccupancy_.nativeOccupiedVcs = r.i32();
+  prevOccupancy_.foreignOccupiedVcs = r.i32();
+  counters_.vaGrantsNative = r.u64();
+  counters_.vaGrantsForeign = r.u64();
+  counters_.saGrantsNative = r.u64();
+  counters_.saGrantsForeign = r.u64();
+  counters_.escapeAllocations = r.u64();
+  counters_.flitsTraversed = r.u64();
+  for (std::uint64_t& f : counters_.portFlits) f = r.u64();
+  flitsMovedThisCycle_ = r.i32();
+  flitsMovedLastCycle_ = r.i32();
+  occNative_ = r.i32();
+  occForeign_ = r.i32();
+  for (int& f : freeAdaptive_) f = r.i32();
+  pendingRc_ = r.i32();
+  pendingVa_ = r.i32();
+  numActive_ = r.i32();
+  for (std::uint64_t& m : routingMask_) m = r.u64();
+  for (std::uint64_t& m : waitingMask_) m = r.u64();
+  for (std::uint64_t& m : activeMask_) m = r.u64();
+  const bool hasPolicyState = r.boolean();
+  RAIR_CHECK_MSG(hasPolicyState == (policyState_ != nullptr),
+                 "router restore: policy-state presence mismatch");
+  if (policyState_) policyState_->restore(r);
 }
 
 }  // namespace rair

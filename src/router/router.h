@@ -33,6 +33,11 @@
 #include "routing/routing.h"
 #include "topology/mesh.h"
 
+namespace rair::snapshot {
+class Writer;
+class Reader;
+}  // namespace rair::snapshot
+
 namespace rair {
 
 namespace check {
@@ -137,6 +142,14 @@ class Router {
   /// what the simulation oracle must detect. Returns false when the port
   /// is unconnected or no credit is outstanding to drop.
   bool debugDropCredit(Dir p, int vc);
+
+  /// Snapshot hooks: every field a future cycle reads — VC state machines,
+  /// buffered flits, credits, round-robin pointers, occupancy aggregates,
+  /// state bitmasks, counters and the policy state. The per-cycle scratch
+  /// vectors (vaRequests_, saInWinners_) are rebuilt each cycle and
+  /// excluded. restore() requires an identically configured router.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   friend class check::NetworkOracle;

@@ -1,6 +1,10 @@
 #include "sim/network.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "snapshot/codec.h"
 
 namespace rair {
 
@@ -144,6 +148,61 @@ int Network::aggregatedFree(NodeId n, Dir d, int hops) const {
   RAIR_DCHECK(d != Dir::Local);
   const int h = std::clamp(hops, 1, maxHops_) - 1;
   return aggAt(agg_, n, dirIdx(d), h);
+}
+
+namespace {
+std::string elementSection(const char* kind, std::size_t i) {
+  char name[32];
+  std::snprintf(name, sizeof name, "%s/%zu", kind, i);
+  return name;
+}
+}  // namespace
+
+void Network::save(snapshot::Writer& w) const {
+  w.beginSection("net/agg");
+  w.u32(static_cast<std::uint32_t>(agg_.size()));
+  for (const int v : agg_) w.i32(v);
+  for (const int v : aggPrev_) w.i32(v);
+  w.endSection();
+  for (std::size_t i = 0; i < routers_.size(); ++i) {
+    w.beginSection(elementSection("router", i));
+    routers_[i].save(w);
+    w.endSection();
+  }
+  for (std::size_t i = 0; i < nics_.size(); ++i) {
+    w.beginSection(elementSection("nic", i));
+    nics_[i].save(w);
+    w.endSection();
+  }
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    w.beginSection(elementSection("link", i));
+    snapshot::saveLink(w, links_[i]);
+    w.endSection();
+  }
+}
+
+void Network::restore(snapshot::Reader& r) {
+  r.beginSection("net/agg");
+  RAIR_CHECK_MSG(r.u32() == agg_.size(),
+                 "network restore: congestion table size mismatch");
+  for (int& v : agg_) v = r.i32();
+  for (int& v : aggPrev_) v = r.i32();
+  r.endSection();
+  for (std::size_t i = 0; i < routers_.size(); ++i) {
+    r.beginSection(elementSection("router", i));
+    routers_[i].restore(r);
+    r.endSection();
+  }
+  for (std::size_t i = 0; i < nics_.size(); ++i) {
+    r.beginSection(elementSection("nic", i));
+    nics_[i].restore(r);
+    r.endSection();
+  }
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    r.beginSection(elementSection("link", i));
+    snapshot::restoreLink(r, links_[i]);
+    r.endSection();
+  }
 }
 
 }  // namespace rair

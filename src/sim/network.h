@@ -13,6 +13,11 @@
 #include "sim/nic.h"
 #include "topology/mesh.h"
 
+namespace rair::snapshot {
+class Writer;
+class Reader;
+}  // namespace rair::snapshot
+
 namespace rair {
 
 struct NetworkConfig {
@@ -71,6 +76,12 @@ class Network final : public CongestionView {
   // CongestionView:
   int freeVcsThrough(NodeId n, Dir d) const override;
   int aggregatedFree(NodeId n, Dir d, int hops) const override;
+
+  /// Snapshot hooks: one named section per hardware element plus the
+  /// side-band congestion network. Wiring and config are reconstructed,
+  /// not serialized — restore() requires an identically built network.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   void wire();

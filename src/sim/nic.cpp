@@ -1,6 +1,7 @@
 #include "sim/nic.h"
 
 #include "common/assert.h"
+#include "snapshot/codec.h"
 
 namespace rair {
 
@@ -135,6 +136,53 @@ void Nic::tick(Cycle now) {
       active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(idx));
     break;
   }
+}
+
+void Nic::save(snapshot::Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(queues_.size()));
+  for (const SubQueue& q : queues_) {
+    w.u8(static_cast<std::uint8_t>(q.cls));
+    w.u16(static_cast<std::uint16_t>(q.app));
+    snapshot::saveRing(w, q.packets, snapshot::savePacket);
+  }
+  w.u32(static_cast<std::uint32_t>(active_.size()));
+  for (const Stream& s : active_) {
+    snapshot::savePacket(w, s.pkt);
+    w.u16(s.next);
+    w.i32(s.vc);
+  }
+  w.u32(static_cast<std::uint32_t>(credits_.size()));
+  for (const int c : credits_) w.i32(c);
+  for (const std::uint16_t h : headHops_) w.u16(h);
+  w.u64(rrNext_);
+  w.u64(rrQueue_);
+}
+
+void Nic::restore(snapshot::Reader& r) {
+  const std::uint32_t numQueues = r.u32();
+  queues_.clear();
+  for (std::uint32_t i = 0; i < numQueues; ++i) {
+    const auto cls = static_cast<MsgClass>(r.u8());
+    const auto app = static_cast<AppId>(r.u16());
+    queues_.push_back(SubQueue{cls, app, {}});
+    snapshot::restoreRing(r, queues_.back().packets,
+                          snapshot::restorePacket);
+  }
+  const std::uint32_t numActive = r.u32();
+  active_.clear();
+  for (std::uint32_t i = 0; i < numActive; ++i) {
+    Stream s;
+    snapshot::restorePacket(r, s.pkt);
+    s.next = r.u16();
+    s.vc = r.i32();
+    active_.push_back(s);
+  }
+  RAIR_CHECK_MSG(r.u32() == credits_.size(),
+                 "nic restore: VC count mismatch");
+  for (int& c : credits_) c = r.i32();
+  for (std::uint16_t& h : headHops_) h = r.u16();
+  rrNext_ = static_cast<std::size_t>(r.u64());
+  rrQueue_ = static_cast<std::size_t>(r.u64());
 }
 
 }  // namespace rair

@@ -26,6 +26,11 @@
 #include "router/link.h"
 #include "router/vc.h"
 
+namespace rair::snapshot {
+class Writer;
+class Reader;
+}  // namespace rair::snapshot
+
 namespace rair {
 
 namespace check {
@@ -69,6 +74,11 @@ class Nic {
   NodeId node() const { return node_; }
   std::size_t queuedPackets() const;
   bool quiescent() const;
+
+  /// Snapshot hooks. Sub-queues are recreated in saved order (their order
+  /// is behavioural: the VC-claim round-robin walks them by index).
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   friend class check::NetworkOracle;

@@ -58,7 +58,8 @@ double appSaturationRate(const Mesh& mesh, const RegionMap& regions,
     const auto res = runScenario(ScenarioSpec(mesh, regions)
                                      .withConfig(cfg)
                                      .withScheme(scheme)
-                                     .withApps(std::move(apps)));
+                                     .withApps(std::move(apps))
+                                     .withWarmCache(opts.warmCacheDir));
     if (!res.run.fullyDrained) {
       // Could not drain: far past saturation.
       return std::numeric_limits<double>::infinity();

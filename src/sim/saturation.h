@@ -25,6 +25,12 @@ struct SaturationOptions {
   Cycle warmupCycles = 2'000;
   Cycle measureCycles = 10'000;
   Cycle drainLimit = 30'000;
+  /// Warm-state cache directory for the probe runs (snapshot subsystem).
+  /// The scan and bisection probe a deterministic rate sequence, so a
+  /// repeated calibration — a re-run campaign, another figure sharing the
+  /// calibration — restores every probe's warm-up instead of simulating
+  /// it. Empty disables caching.
+  std::string warmCacheDir;
 };
 
 /// Generic knee finder over a monotone latency-vs-rate curve.

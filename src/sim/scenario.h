@@ -20,6 +20,7 @@
 #include "region/region_map.h"
 #include "sim/scheme.h"
 #include "sim/simulator.h"
+#include "snapshot/options.h"
 #include "traffic/generator.h"
 
 namespace rair {
@@ -32,6 +33,14 @@ struct ScenarioResult {
   /// Aggregate instrumentation of the run (absent when the spec disabled
   /// metrics collection with MetricsLevel::Off).
   std::optional<metrics::MetricsSummary> metrics;
+
+  /// Cycle the run resumed from via a checkpoint restore (0 when the run
+  /// started from cycle zero). Volatile provenance, not a result — the
+  /// simulated outcome is byte-identical either way.
+  Cycle resumedFromCycle = 0;
+  /// Whether the warm-up state was restored from the warm cache instead of
+  /// simulated.
+  bool warmRestored = false;
 
   /// Relative APL reduction of app `a` against a baseline result
   /// (positive = this scheme is faster). The paper's headline metric.
@@ -64,8 +73,19 @@ struct ScenarioSpec {
   std::uint64_t seed = 1;
   /// Instrumentation level and sink configuration of the run.
   metrics::MetricsOptions metrics;
+  /// Snapshot behaviour: warm-state caching and/or mid-run checkpoints.
+  snapshot::SnapshotOptions snap;
 
   ScenarioSpec(const Mesh& m, const RegionMap& r) : mesh(&m), regions(&r) {}
+
+  /// The configuration the simulator actually runs with: `config` with the
+  /// routing algorithm and RAIR VC partition normalized from the scheme.
+  SimConfig effectiveConfig() const {
+    SimConfig cfg = config;
+    cfg.routing = scheme.routing;
+    cfg.net.rairPartition = scheme.needsRairPartition();
+    return cfg;
+  }
 
   /// The single source of truth for simulation windows: the paper's 10K
   /// warmup / 100K measured (Sec. V.A), or 5x-shrunk fast windows for
@@ -106,6 +126,29 @@ struct ScenarioSpec {
     metrics.outPrefix = std::move(prefix);
     return *this;
   }
+  ScenarioSpec& withSnapshot(const snapshot::SnapshotOptions& s) {
+    snap = s;
+    return *this;
+  }
+  /// Enables end-of-warm-up state caching in `dir`.
+  ScenarioSpec& withWarmCache(std::string dir) {
+    snap.warmCacheDir = std::move(dir);
+    return *this;
+  }
+  /// Enables mid-run checkpointing to `path` every `every` cycles (and
+  /// resume from it when the file already exists for this exact spec).
+  ScenarioSpec& withCheckpoint(std::string path, Cycle every = 25'000) {
+    snap.checkpointPath = std::move(path);
+    snap.checkpointEvery = every;
+    return *this;
+  }
+  /// Like withCheckpoint, but the runner derives a per-run file inside
+  /// `dir` from the full scenario key (what the campaign runner uses).
+  ScenarioSpec& withCheckpointDir(std::string dir, Cycle every = 25'000) {
+    snap.checkpointDir = std::move(dir);
+    snap.checkpointEvery = every;
+    return *this;
+  }
   /// Overwrites only the window fields of `config` (warmup, measure,
   /// drain limit) with the preset, keeping network knobs intact.
   ScenarioSpec& withWindows(bool fast) {
@@ -121,5 +164,23 @@ struct ScenarioSpec {
 
 /// Runs one scheme on one workload.
 ScenarioResult runScenario(const ScenarioSpec& spec);
+
+/// A simulator assembled from a spec but not yet run — the building block
+/// runScenario, the continuation tests and the divergence bisector share.
+/// The policy must outlive the simulator.
+struct AssembledScenario {
+  int numApps = 0;
+  std::unique_ptr<ArbiterPolicy> policy;
+  std::unique_ptr<Simulator> sim;
+};
+
+AssembledScenario assembleScenario(const ScenarioSpec& spec);
+
+/// Simulates `spec` from cycle zero to exactly `atCycle` and writes a
+/// checkpoint there — how tests and tools fabricate the "interrupted run"
+/// half of a continuation check. Returns false when the spec is not
+/// snapshot-eligible or the write fails.
+bool writeScenarioCheckpoint(const ScenarioSpec& spec, Cycle atCycle,
+                             const std::string& path);
 
 }  // namespace rair

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/assert.h"
+#include "snapshot/codec.h"
 
 namespace rair {
 
@@ -90,6 +91,10 @@ void Simulator::begin() {
 }
 
 void Simulator::stepCycle() {
+  if (snapEnabled_ &&
+      (now_ == snapSavePoint_ ||
+       (snapEvery_ != 0 && now_ != 0 && now_ % snapEvery_ == 0)))
+    snapHook_(*this, now_);
   while (!deferred_.empty() && deferred_.top().when <= now_) {
     const Deferred d = deferred_.top();
     deferred_.pop();
@@ -97,9 +102,124 @@ void Simulator::stepCycle() {
   }
   for (auto& src : sources_) src->tick(*this);
   net_->step(now_);
+  if (net_->flitsMovedLastCycle() > 0 || delivered_ != lastDelivered_ ||
+      ledger_.empty()) {
+    lastProgress_ = now_;
+    lastDelivered_ = delivered_;
+  }
   for (std::size_t i = 0; i < numObservers_; ++i)
     observers_[i]->onCycleEnd(now_);
   ++now_;
+}
+
+bool Simulator::snapshotSupported() const {
+  if (deliveryHook_) return false;
+  for (const auto& src : sources_)
+    if (!src->snapshotSupported()) return false;
+  return true;
+}
+
+void Simulator::save(snapshot::Writer& w) const {
+  w.beginSection("meta");
+  w.i32(mesh_->width());
+  w.i32(mesh_->height());
+  w.i32(net_->layout().totalVcs());
+  w.i32(stats_.numApps());
+  w.u32(static_cast<std::uint32_t>(sources_.size()));
+  w.endSection();
+
+  w.beginSection("sim");
+  w.u64(now_);
+  w.u64(created_);
+  w.u64(delivered_);
+  w.u64(measuredFlitsDelivered_);
+  w.u64(lastProgress_);
+  w.u64(lastDelivered_);
+  w.endSection();
+
+  w.beginSection("deferred");
+  const auto& heap = deferred_.container();
+  w.u32(static_cast<std::uint32_t>(heap.size()));
+  for (const Deferred& d : heap) {
+    w.u64(d.when);
+    w.i32(d.src);
+    w.i32(d.dst);
+    w.u16(static_cast<std::uint16_t>(d.app));
+    w.u8(static_cast<std::uint8_t>(d.cls));
+    w.u16(d.numFlits);
+  }
+  w.endSection();
+
+  w.beginSection("ledger");
+  ledger_.save(w);
+  w.endSection();
+
+  w.beginSection("stats");
+  stats_.save(w);
+  w.endSection();
+
+  w.beginSection("sources");
+  for (const auto& src : sources_) {
+    RAIR_CHECK_MSG(src->snapshotSupported(),
+                   "save() on a snapshot-ineligible simulation");
+    src->saveState(w);
+  }
+  w.endSection();
+
+  net_->save(w);
+}
+
+void Simulator::restore(snapshot::Reader& r) {
+  r.beginSection("meta");
+  RAIR_CHECK_MSG(r.i32() == mesh_->width() && r.i32() == mesh_->height(),
+                 "snapshot restore: mesh mismatch");
+  RAIR_CHECK_MSG(r.i32() == net_->layout().totalVcs(),
+                 "snapshot restore: VC layout mismatch");
+  RAIR_CHECK_MSG(r.i32() == stats_.numApps(),
+                 "snapshot restore: app count mismatch");
+  RAIR_CHECK_MSG(r.u32() == sources_.size(),
+                 "snapshot restore: source count mismatch");
+  r.endSection();
+
+  r.beginSection("sim");
+  now_ = r.u64();
+  created_ = r.u64();
+  delivered_ = r.u64();
+  measuredFlitsDelivered_ = r.u64();
+  lastProgress_ = r.u64();
+  lastDelivered_ = r.u64();
+  r.endSection();
+
+  r.beginSection("deferred");
+  auto& heap = deferred_.container();
+  heap.clear();
+  const std::uint32_t numDeferred = r.u32();
+  heap.reserve(numDeferred);
+  for (std::uint32_t i = 0; i < numDeferred; ++i) {
+    Deferred d;
+    d.when = r.u64();
+    d.src = r.i32();
+    d.dst = r.i32();
+    d.app = static_cast<AppId>(r.u16());
+    d.cls = static_cast<MsgClass>(r.u8());
+    d.numFlits = r.u16();
+    heap.push_back(d);
+  }
+  r.endSection();
+
+  r.beginSection("ledger");
+  ledger_.restore(r);
+  r.endSection();
+
+  r.beginSection("stats");
+  stats_.restore(r);
+  r.endSection();
+
+  r.beginSection("sources");
+  for (auto& src : sources_) src->restoreState(r);
+  r.endSection();
+
+  net_->restore(r);
 }
 
 RunResult Simulator::run() {
@@ -107,8 +227,6 @@ RunResult Simulator::run() {
   const Cycle hardStop = measureEnd + config_.drainLimit;
   begin();
 
-  Cycle lastProgress = 0;
-  std::uint64_t lastDelivered = 0;
   bool drained = false;
   bool stalled = false;
 
@@ -116,11 +234,9 @@ RunResult Simulator::run() {
     const Cycle cur = now_;
     stepCycle();
 
-    if (net_->flitsMovedLastCycle() > 0 || delivered_ != lastDelivered ||
-        ledger_.empty()) {
-      lastProgress = cur;
-      lastDelivered = delivered_;
-    } else if (cur - lastProgress > config_.progressTimeout) {
+    // stepCycle() advanced lastProgress_ to `cur` if this cycle made
+    // progress, so the subtraction is 0 on any progressing cycle.
+    if (cur - lastProgress_ > config_.progressTimeout) {
       // Deadlock/livelock tripwire. Reported as a structured outcome so a
       // batch driver (e.g. the campaign runner) can record the failure and
       // keep going instead of losing the whole process.

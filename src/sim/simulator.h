@@ -20,6 +20,11 @@
 #include "stats/stats.h"
 #include "traffic/source.h"
 
+namespace rair::snapshot {
+class Writer;
+class Reader;
+}  // namespace rair::snapshot
+
 namespace rair {
 
 struct SimConfig {
@@ -152,6 +157,32 @@ class Simulator final : public InjectionSink, private NicEvents {
     observers_[numObservers_++] = obs;
   }
 
+  // --- Snapshot/restore ---------------------------------------------------
+  /// Whether this simulation's complete state can be captured: every
+  /// source must support snapshotting and no delivery hook may be
+  /// installed (hooks create packets from state the snapshot cannot see).
+  bool snapshotSupported() const;
+
+  /// Serializes the complete mutable state (and restores it into an
+  /// identically constructed simulator: same mesh/regions/config/policy,
+  /// same sources added in the same order).
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
+
+  /// Installs a hook fired at the top of stepCycle() when exactly
+  /// `savePoint` cycles have completed, and additionally every `every`
+  /// cycles when `every` is non-zero. The hook may save the simulator but
+  /// must not mutate it. Cost when no hook is installed: one predictable
+  /// branch per cycle.
+  using SnapshotHook = std::function<void(const Simulator&, Cycle)>;
+  void setSnapshotHook(SnapshotHook hook, Cycle savePoint,
+                       Cycle every = 0) {
+    snapHook_ = std::move(hook);
+    snapSavePoint_ = savePoint;
+    snapEvery_ = every;
+    snapEnabled_ = static_cast<bool>(snapHook_);
+  }
+
  private:
   // NicEvents: every NIC reports into the simulator's ledger directly.
   void onInjected(PacketId id, Cycle when) override;
@@ -174,8 +205,16 @@ class Simulator final : public InjectionSink, private NicEvents {
     std::uint16_t numFlits;
     bool operator>(const Deferred& o) const { return when > o.when; }
   };
-  std::priority_queue<Deferred, std::vector<Deferred>, std::greater<>>
-      deferred_;
+  /// priority_queue with its protected container exposed: the snapshot
+  /// serializes the heap vector verbatim, so a restored queue pops in the
+  /// exact order (including tie order) the saved one would.
+  struct DeferredQueue
+      : std::priority_queue<Deferred, std::vector<Deferred>,
+                            std::greater<>> {
+    const std::vector<Deferred>& container() const { return c; }
+    std::vector<Deferred>& container() { return c; }
+  };
+  DeferredQueue deferred_;
 
   static constexpr std::size_t kMaxObservers = 4;
   std::array<SimObserver*, kMaxObservers> observers_{};
@@ -184,6 +223,17 @@ class Simulator final : public InjectionSink, private NicEvents {
   std::uint64_t created_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t measuredFlitsDelivered_ = 0;
+
+  // Progress-tripwire bookkeeping. Members (not run() locals) so they are
+  // part of the snapshot: a restored run must fire the deadlock tripwire
+  // at the same cycle the uninterrupted one would.
+  Cycle lastProgress_ = 0;
+  std::uint64_t lastDelivered_ = 0;
+
+  SnapshotHook snapHook_;
+  Cycle snapSavePoint_ = kNeverCycle;
+  Cycle snapEvery_ = 0;
+  bool snapEnabled_ = false;
 };
 
 }  // namespace rair

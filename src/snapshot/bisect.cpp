@@ -1,0 +1,107 @@
+#include "snapshot/bisect.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/assert.h"
+#include "snapshot/buffer.h"
+
+namespace rair::snapshot {
+
+std::string firstDifferingSection(const std::vector<std::uint8_t>& a,
+                                  const std::vector<std::uint8_t>& b) {
+  if (a == b) return {};
+  const std::vector<SectionInfo> sa = listSections(a);
+  const std::vector<SectionInfo> sb = listSections(b);
+  const std::size_t n = std::min(sa.size(), sb.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sa[i].name != sb[i].name) return "<framing>";
+    if (sa[i].size != sb[i].size ||
+        (sa[i].size != 0 &&
+         std::memcmp(a.data() + sa[i].offset, b.data() + sb[i].offset,
+                     sa[i].size) != 0))
+      return sa[i].name;
+  }
+  return "<framing>";  // equal prefix, different section counts
+}
+
+namespace {
+
+std::vector<std::uint8_t> serialized(const Simulator& sim) {
+  Writer w;
+  sim.save(w);
+  return w.payload();
+}
+
+/// State after simulating `spec` straight from cycle zero to `cycle`.
+std::vector<std::uint8_t> stateAt(const ScenarioSpec& spec, Cycle cycle) {
+  AssembledScenario as = assembleScenario(spec);
+  RAIR_CHECK_MSG(as.sim->snapshotSupported(),
+                 "bisectDivergence on a snapshot-ineligible scenario");
+  as.sim->begin();
+  while (as.sim->now() < cycle) as.sim->stepCycle();
+  return serialized(*as.sim);
+}
+
+/// State after restoring `snap` into a fresh simulator and continuing to
+/// `cycle`.
+std::vector<std::uint8_t> stateViaRestore(
+    const ScenarioSpec& spec, const std::vector<std::uint8_t>& snap,
+    Cycle cycle) {
+  AssembledScenario as = assembleScenario(spec);
+  Reader r(snap);
+  as.sim->restore(r);
+  RAIR_CHECK_MSG(r.atEnd(), "bisect: trailing bytes after restore");
+  as.sim->begin();
+  while (as.sim->now() < cycle) as.sim->stepCycle();
+  return serialized(*as.sim);
+}
+
+}  // namespace
+
+BisectResult bisectDivergence(const ScenarioSpec& spec, Cycle snapAt,
+                              Cycle horizon) {
+  RAIR_CHECK_MSG(snapAt < horizon, "bisectDivergence: empty cycle range");
+  BisectResult res;
+  const std::vector<std::uint8_t> snap = stateAt(spec, snapAt);
+
+  auto diffAt = [&](Cycle c) {
+    return firstDifferingSection(stateAt(spec, c),
+                                 stateViaRestore(spec, snap, c));
+  };
+
+  // Restore itself must reproduce the saved state before any search makes
+  // sense.
+  std::string s = diffAt(snapAt);
+  if (!s.empty()) {
+    res.diverged = true;
+    res.firstDivergentCycle = snapAt;
+    res.section = std::move(s);
+    return res;
+  }
+
+  s = diffAt(horizon);
+  if (s.empty()) return res;  // identical over the whole range
+
+  // Invariant: states match at `lo`, differ at `hi` (where `hiSection`
+  // names the first differing section).
+  Cycle lo = snapAt;
+  Cycle hi = horizon;
+  std::string hiSection = std::move(s);
+  while (hi - lo > 1) {
+    const Cycle mid = lo + (hi - lo) / 2;
+    s = diffAt(mid);
+    if (s.empty()) {
+      lo = mid;
+    } else {
+      hi = mid;
+      hiSection = std::move(s);
+    }
+  }
+  res.diverged = true;
+  res.firstDivergentCycle = hi;
+  res.section = std::move(hiSection);
+  return res;
+}
+
+}  // namespace rair::snapshot

@@ -1,0 +1,40 @@
+// Determinism debugging: binary-search the first cycle at which a
+// restored-from-snapshot run diverges from the uninterrupted run of the
+// same scenario. The subsystem's load-bearing invariant is that it never
+// does — bisectDivergence is the tool that localizes a violation to a
+// cycle and a state section when a save/restore hook goes stale (e.g. a
+// new piece of mutable router state not added to the codec).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.h"
+
+namespace rair::snapshot {
+
+struct BisectResult {
+  bool diverged = false;
+  /// First cycle whose post-cycle state differs (meaningful only when
+  /// `diverged`).
+  Cycle firstDivergentCycle = 0;
+  /// Name of the first snapshot section that differs at that cycle.
+  std::string section;
+};
+
+/// First section (in write order) whose body differs between two
+/// hash-validated payloads. Empty string when byte-identical; "<framing>"
+/// when the section lists themselves disagree.
+std::string firstDifferingSection(const std::vector<std::uint8_t>& a,
+                                  const std::vector<std::uint8_t>& b);
+
+/// Runs `spec` straight to `snapAt` and saves its state; then compares the
+/// straight run against the save/restore/continue run, binary-searching
+/// the first cycle in (snapAt, horizon] where the two serialized states
+/// differ. Each probe re-simulates from scratch (a debugging tool, not a
+/// fast path). RAIR_CHECKs when the spec is not snapshot-capable.
+BisectResult bisectDivergence(const ScenarioSpec& spec, Cycle snapAt,
+                              Cycle horizon);
+
+}  // namespace rair::snapshot

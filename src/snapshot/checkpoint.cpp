@@ -1,0 +1,43 @@
+#include "snapshot/checkpoint.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "sim/simulator.h"
+#include "snapshot/buffer.h"
+#include "snapshot/scenario_key.h"
+
+namespace rair::snapshot {
+
+std::string checkpointFileName(std::uint64_t fullKey) {
+  char name[32];
+  std::snprintf(name, sizeof name, "ckpt-%016" PRIx64 ".snap", fullKey);
+  return name;
+}
+
+bool tryRestoreCheckpoint(Simulator& sim, const std::string& path,
+                          std::uint64_t fullKey, Cycle* restoredCycle) {
+  auto snap = readSnapshotFile(path);
+  if (!snap || snap->header.stateVersion != kStateVersion ||
+      snap->header.scenarioKey != fullKey)
+    return false;
+  Reader r(snap->payload);
+  sim.restore(r);
+  if (restoredCycle != nullptr) *restoredCycle = snap->header.cycle;
+  return true;
+}
+
+bool storeCheckpoint(const Simulator& sim, const std::string& path,
+                     std::uint64_t fullKey) {
+  Writer w;
+  sim.save(w);
+  SnapshotHeader header;
+  header.stateVersion = kStateVersion;
+  header.scenarioKey = fullKey;
+  header.cycle = sim.now();
+  return writeSnapshotFile(path, header, w.payload());
+}
+
+void removeCheckpoint(const std::string& path) { removeFile(path); }
+
+}  // namespace rair::snapshot

@@ -1,0 +1,41 @@
+// Mid-run checkpoints: resume an interrupted run from its last snapshot.
+//
+// A checkpoint is the full simulator state at some cycle of one specific
+// run, identified by the run's full scenario key. The campaign runner
+// points each cell at a per-cell checkpoint file; an interrupted campaign
+// then resumes each unfinished cell from its last checkpoint instead of
+// from cycle zero. The determinism invariant makes this safe: restoring a
+// checkpoint and finishing produces byte-identical records to the
+// uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace rair {
+class Simulator;
+}
+
+namespace rair::snapshot {
+
+/// Canonical checkpoint file name for a run key (placed by callers inside
+/// their checkpoint directory). Shared by the campaign runner and the
+/// continuation tests so both agree where a cell's checkpoint lives.
+std::string checkpointFileName(std::uint64_t fullKey);
+
+/// Restores `sim` from `path` when the file exists, validates, and belongs
+/// to `fullKey`. Returns the restored cycle through `restoredCycle` (left
+/// untouched on failure).
+bool tryRestoreCheckpoint(Simulator& sim, const std::string& path,
+                          std::uint64_t fullKey, Cycle* restoredCycle);
+
+/// Writes the simulator's current state to `path` (atomically).
+bool storeCheckpoint(const Simulator& sim, const std::string& path,
+                     std::uint64_t fullKey);
+
+/// Deletes a checkpoint once its run completed.
+void removeCheckpoint(const std::string& path);
+
+}  // namespace rair::snapshot

@@ -1,0 +1,38 @@
+// Per-scenario snapshot configuration carried on ScenarioSpec.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace rair::snapshot {
+
+/// What snapshotting, if any, a scenario run should do. Default-constructed
+/// means "none" — the simulator then pays a single predictable branch per
+/// cycle for the hook check.
+struct SnapshotOptions {
+  /// Directory of the warm-state cache. When set, runScenario tries to
+  /// restore the end-of-warm-up state for the scenario's warm key and,
+  /// on a miss, stores it after simulating the warm-up once.
+  std::string warmCacheDir;
+
+  /// Checkpoint file for mid-run resume. When set, runScenario restores
+  /// from it if it exists (and matches the full scenario key), refreshes
+  /// it every `checkpointEvery` cycles while running, and removes it when
+  /// the run completes.
+  std::string checkpointPath;
+  /// Alternative to checkpointPath for callers that run many scenarios
+  /// (the campaign runner): runScenario derives the file itself as
+  /// `<checkpointDir>/<checkpointFileName(fullStateKey)>`, so every run
+  /// gets a distinct checkpoint without the caller computing keys.
+  /// Ignored when checkpointPath is set.
+  std::string checkpointDir;
+  Cycle checkpointEvery = 25'000;
+
+  bool enabled() const {
+    return !warmCacheDir.empty() || !checkpointPath.empty() ||
+           !checkpointDir.empty();
+  }
+};
+
+}  // namespace rair::snapshot

@@ -1,0 +1,56 @@
+#include "snapshot/warm_cache.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "sim/simulator.h"
+#include "snapshot/buffer.h"
+#include "snapshot/scenario_key.h"
+
+namespace rair::snapshot {
+
+WarmCacheStats& warmCacheStats() {
+  static WarmCacheStats stats;
+  return stats;
+}
+
+void resetWarmCacheStats() { warmCacheStats() = WarmCacheStats{}; }
+
+std::string warmSnapshotPath(const std::string& dir, std::uint64_t warmKey) {
+  char name[32];
+  std::snprintf(name, sizeof name, "warm-%016" PRIx64 ".snap", warmKey);
+  return dir + "/" + name;
+}
+
+bool tryRestoreWarm(Simulator& sim, const std::string& dir,
+                    std::uint64_t warmKey, Cycle warmupCycles) {
+  auto snap = readSnapshotFile(warmSnapshotPath(dir, warmKey));
+  if (!snap || snap->header.stateVersion != kStateVersion ||
+      snap->header.scenarioKey != warmKey) {
+    ++warmCacheStats().misses;
+    return false;
+  }
+  Reader r(snap->payload);
+  sim.restore(r);
+  ++warmCacheStats().hits;
+  warmCacheStats().warmupCyclesSaved += warmupCycles;
+  return true;
+}
+
+bool storeWarm(const Simulator& sim, const std::string& dir,
+               std::uint64_t warmKey) {
+  if (!ensureDir(dir)) return false;
+  Writer w;
+  sim.save(w);
+  SnapshotHeader header;
+  header.stateVersion = kStateVersion;
+  header.scenarioKey = warmKey;
+  header.cycle = sim.now();
+  if (!writeSnapshotFile(warmSnapshotPath(dir, warmKey), header,
+                         w.payload()))
+    return false;
+  ++warmCacheStats().stores;
+  return true;
+}
+
+}  // namespace rair::snapshot

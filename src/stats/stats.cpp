@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snapshot/codec.h"
+
 namespace rair {
 
 StatsCollector::StatsCollector(int numApps)
@@ -37,6 +39,39 @@ AppStats StatsCollector::overall() const {
     agg.flitsDelivered += s.flitsDelivered;
   }
   return agg;
+}
+
+void StatsCollector::save(snapshot::Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(perApp_.size()));
+  for (const AppStats& s : perApp_) {
+    snapshot::saveHistogram(w, s.totalLatency);
+    snapshot::saveHistogram(w, s.networkLatency);
+    snapshot::saveHistogram(w, s.hops);
+    w.u64(s.packetsCreated);
+    w.u64(s.packetsDelivered);
+    w.u64(s.flitsDelivered);
+  }
+  w.u64(measureStart_);
+  w.u64(measureEnd_);
+  w.u64(measuredCreated_);
+  w.u64(measuredDelivered_);
+}
+
+void StatsCollector::restore(snapshot::Reader& r) {
+  RAIR_CHECK_MSG(r.u32() == perApp_.size(),
+                 "stats restore: app count mismatch");
+  for (AppStats& s : perApp_) {
+    snapshot::restoreHistogram(r, s.totalLatency);
+    snapshot::restoreHistogram(r, s.networkLatency);
+    snapshot::restoreHistogram(r, s.hops);
+    s.packetsCreated = r.u64();
+    s.packetsDelivered = r.u64();
+    s.flitsDelivered = r.u64();
+  }
+  measureStart_ = r.u64();
+  measureEnd_ = r.u64();
+  measuredCreated_ = r.u64();
+  measuredDelivered_ = r.u64();
 }
 
 double StatsCollector::overallApl() const {

@@ -17,6 +17,11 @@
 #include "metrics/histogram.h"
 #include "packet/packet.h"
 
+namespace rair::snapshot {
+class Writer;
+class Reader;
+}  // namespace rair::snapshot
+
 namespace rair {
 
 /// Running scalar statistics plus a coarse power-of-two histogram. The
@@ -74,6 +79,11 @@ class StatsCollector {
 
   /// APL of one application.
   double appApl(AppId a) const { return app(a).totalLatency.mean(); }
+
+  /// Snapshot hooks. restore() requires a collector constructed with the
+  /// same numApps as the one saved.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   std::vector<AppStats> perApp_;

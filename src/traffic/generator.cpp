@@ -1,6 +1,7 @@
 #include "traffic/generator.h"
 
 #include "common/assert.h"
+#include "snapshot/codec.h"
 
 namespace rair {
 
@@ -78,6 +79,14 @@ void RegionalizedSource::tick(InjectionSink& sink) {
   }
 }
 
+void RegionalizedSource::saveState(snapshot::Writer& w) const {
+  snapshot::saveRng(w, rng_);
+}
+
+void RegionalizedSource::restoreState(snapshot::Reader& r) {
+  snapshot::restoreRng(r, rng_);
+}
+
 AdversarialSource::AdversarialSource(const Mesh& mesh, AppId attackerApp,
                                      double flitsPerCycleNode,
                                      std::uint64_t seed)
@@ -97,6 +106,14 @@ void AdversarialSource::tick(InjectionSink& sink) {
     sink.createPacket(src, dst, app_, MsgClass::Request,
                       drawBimodalLength(rng_));
   }
+}
+
+void AdversarialSource::saveState(snapshot::Writer& w) const {
+  snapshot::saveRng(w, rng_);
+}
+
+void AdversarialSource::restoreState(snapshot::Reader& r) {
+  snapshot::restoreRng(r, rng_);
 }
 
 }  // namespace rair

@@ -42,6 +42,12 @@ class RegionalizedSource final : public TrafficSource {
 
   const AppTrafficSpec& spec() const { return spec_; }
 
+  // Snapshot hooks: the RNG stream is the only mutable state (patterns and
+  // node lists are pure functions of the construction arguments).
+  bool snapshotSupported() const override { return true; }
+  void saveState(snapshot::Writer& w) const override;
+  void restoreState(snapshot::Reader& r) override;
+
  private:
   /// Picks an inter-region destination; retries so the result lands
   /// outside the app's own region where the pattern allows it.
@@ -68,6 +74,10 @@ class AdversarialSource final : public TrafficSource {
                     double flitsPerCycleNode, std::uint64_t seed);
 
   void tick(InjectionSink& sink) override;
+
+  bool snapshotSupported() const override { return true; }
+  void saveState(snapshot::Writer& w) const override;
+  void restoreState(snapshot::Reader& r) override;
 
  private:
   const Mesh* mesh_;

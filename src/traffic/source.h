@@ -5,6 +5,11 @@
 #include "common/types.h"
 #include "packet/packet.h"
 
+namespace rair::snapshot {
+class Writer;
+class Reader;
+}  // namespace rair::snapshot
+
 namespace rair {
 
 /// Where sources hand their packets. Implemented by the Simulator: it
@@ -28,6 +33,15 @@ class TrafficSource {
 
   /// May call sink.createPacket() any number of times.
   virtual void tick(InjectionSink& sink) = 0;
+
+  /// Whether this source's mutable state can be snapshotted. Sources that
+  /// return false (the default — e.g. trace replay with external cursors)
+  /// make the whole simulation snapshot-ineligible.
+  virtual bool snapshotSupported() const { return false; }
+  /// Serialize/deserialize the source's mutable state (typically just its
+  /// RNG stream). Only called when snapshotSupported().
+  virtual void saveState(snapshot::Writer& w) const { (void)w; }
+  virtual void restoreState(snapshot::Reader& r) { (void)r; }
 };
 
 }  // namespace rair

@@ -35,17 +35,17 @@ CampaignSpec smallSpec() {
       CampaignCell cell;
       cell.key = scheme.label + "/" + load;
       cell.labels = {{"scheme", scheme.label}, {"load", load}};
-      cell.run = [mesh, regions, cfg, scheme, rate](std::uint64_t seed) {
+      cell.run = [mesh, regions, cfg, scheme, rate](const CellContext& ctx) {
         std::vector<AppTrafficSpec> apps(2);
         apps[0].app = 0;
         apps[0].injectionRate = rate;
         apps[1].app = 1;
         apps[1].injectionRate = rate;
-        return runScenario(ScenarioSpec(*mesh, *regions)
-                               .withConfig(cfg)
-                               .withScheme(scheme)
-                               .withApps(std::move(apps))
-                               .withSeed(seed));
+        ScenarioSpec spec = ScenarioSpec(*mesh, *regions)
+                                .withConfig(cfg)
+                                .withScheme(scheme)
+                                .withApps(std::move(apps));
+        return runScenario(ctx.applyTo(spec));
       };
       spec.add(std::move(cell));
     }
@@ -297,7 +297,7 @@ TEST(Runner, TripwiredCellIsRecordedNotFatal) {
   spec.name = "unit_trip";
   CampaignCell ok;
   ok.key = "ok";
-  ok.run = [](std::uint64_t) {
+  ok.run = [](const CellContext&) {
     ScenarioResult r;
     r.appApl = {10.0};
     r.meanApl = 10.0;
@@ -308,7 +308,7 @@ TEST(Runner, TripwiredCellIsRecordedNotFatal) {
   spec.add(std::move(ok));
   CampaignCell stuck;
   stuck.key = "stuck";
-  stuck.run = [](std::uint64_t) {
+  stuck.run = [](const CellContext&) {
     ScenarioResult r;
     r.appApl = {1e9};
     r.meanApl = 1e9;

@@ -79,8 +79,8 @@ campaign::CampaignSpec fig09RoRrRow() {
     campaign::CampaignCell cell;
     cell.key = "RO_RR/p" + std::to_string(p);
     cell.labels = {{"scheme", "RO_RR"}, {"p", std::to_string(p)}};
-    cell.run = [p](std::uint64_t seed) {
-      return runFig09Cell(p / 100.0, schemeRoRr(), seed);
+    cell.run = [p](const campaign::CellContext& ctx) {
+      return runFig09Cell(p / 100.0, schemeRoRr(), ctx.seed);
     };
     spec.add(std::move(cell));
   }
@@ -172,8 +172,8 @@ TEST(Equivalence, Fig12RunnerRowIndependentOfWorkerCount) {
     campaign::CampaignCell cell;
     cell.key = std::string("RO_RR/") + scen;
     cell.labels = {{"scheme", "RO_RR"}, {"scenario", std::string(1, scen)}};
-    cell.run = [scen](std::uint64_t seed) {
-      return runFig12Cell(scen, schemeRoRr(), seed);
+    cell.run = [scen](const campaign::CellContext& ctx) {
+      return runFig12Cell(scen, schemeRoRr(), ctx.seed);
     };
     spec.add(std::move(cell));
   }
@@ -250,7 +250,9 @@ TEST(Equivalence, Fig14RunnerRowIndependentOfWorkerCount) {
     campaign::CampaignCell cell;
     cell.key = s.label;
     cell.labels = {{"scheme", s.label}};
-    cell.run = [s](std::uint64_t seed) { return runFig14Cell(s, seed); };
+    cell.run = [s](const campaign::CellContext& ctx) {
+      return runFig14Cell(s, ctx.seed);
+    };
     spec.add(std::move(cell));
   }
 

@@ -4,7 +4,8 @@
 Usage:
     perf_check.py --baseline BENCH_core_hotpath.json --current run.json \
                   [--max-regression 0.25] [--metric cycles_per_sec] \
-                  [--paired-suffix _metrics --max-overhead 0.02]
+                  [--paired-suffix _metrics --paired-suffix _snapshot \
+                   --max-overhead 0.02]
 
 Both files are google-benchmark JSON (--benchmark_format=json). The check
 fails (exit 1) when any benchmark present in both files regresses by more
@@ -12,11 +13,11 @@ than --max-regression on the chosen rate metric (higher is better). New or
 removed benchmarks are reported but do not fail the check; regenerate the
 baseline when the suite changes intentionally.
 
-With --paired-suffix, the check additionally compares, WITHIN the current
-file, every benchmark named "X<suffix>" against its bare twin "X" and
-fails when the suffixed variant is more than --max-overhead slower — the
-guard that keeps default-level metrics collection effectively free on the
-per-cycle hot path.
+With --paired-suffix (repeatable), the check additionally compares, WITHIN
+the current file, every benchmark named "X<suffix>" against its bare twin
+"X" and fails when the suffixed variant is more than --max-overhead slower
+— the guard that keeps default-level metrics collection and the armed
+snapshot hook effectively free on the per-cycle hot path.
 """
 
 import argparse
@@ -51,9 +52,10 @@ def main():
     ap.add_argument("--metric", default="cycles_per_sec",
                     help="rate counter to compare, higher is better "
                          "(default cycles_per_sec)")
-    ap.add_argument("--paired-suffix", default=None,
+    ap.add_argument("--paired-suffix", action="append", default=None,
                     help="also compare every 'X<suffix>' benchmark in the "
-                         "current file against its bare twin 'X'")
+                         "current file against its bare twin 'X'; may be "
+                         "given multiple times")
     ap.add_argument("--max-overhead", type=float, default=0.02,
                     help="maximum tolerated fractional slowdown of a "
                          "suffixed variant vs. its twin (default 0.02)")
@@ -78,8 +80,7 @@ def main():
     for name in sorted(set(cur) - set(base)):
         print(f"       NEW  {name} (not in baseline)")
 
-    if args.paired_suffix:
-        suffix = args.paired_suffix
+    for suffix in args.paired_suffix or []:
         pairs = [(n[: -len(suffix)], n) for n in sorted(cur)
                  if n.endswith(suffix) and n[: -len(suffix)] in cur]
         if not pairs:

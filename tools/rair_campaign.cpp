@@ -43,13 +43,28 @@ void usage(std::FILE* to) {
       "  --metrics-out PREFIX\n"
       "                write per-cell metrics sinks (summary.json,\n"
       "                counters.csv, series.jsonl) under\n"
-      "                PREFIX<campaign>_<key>.\n");
+      "                PREFIX<campaign>_<key>.\n"
+      "  --warm-cache DIR\n"
+      "                cache end-of-warm-up simulator states in DIR;\n"
+      "                calibration probes and cells whose warm-up was\n"
+      "                already simulated (e.g. on a re-run) restore it\n"
+      "                instead of re-simulating\n"
+      "  --checkpoint-dir DIR\n"
+      "                write per-cell mid-run checkpoints into DIR; an\n"
+      "                interrupted campaign resumes unfinished cells from\n"
+      "                their last checkpoint, with byte-identical records\n"
+      "  --checkpoint-every N\n"
+      "                checkpoint refresh period in cycles (default "
+      "25000)\n");
 }
 
 struct Args {
   std::string name;
   std::string out;
+  std::string warmCache;
+  std::string checkpointDir;
   rair::metrics::MetricsOptions metrics;
+  rair::Cycle checkpointEvery = 25'000;
   int jobs = 0;
   std::uint64_t seed = 1;
   bool fast = false;
@@ -106,6 +121,19 @@ bool parseArgs(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.metrics.outPrefix = v;
+    } else if (arg == "--warm-cache") {
+      const char* v = next();
+      if (!v) return false;
+      args.warmCache = v;
+    } else if (arg == "--checkpoint-dir") {
+      const char* v = next();
+      if (!v) return false;
+      args.checkpointDir = v;
+    } else if (arg == "--checkpoint-every") {
+      const char* v = next();
+      if (!v) return false;
+      args.checkpointEvery = std::strtoull(v, nullptr, 10);
+      if (args.checkpointEvery == 0) return false;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -155,6 +183,7 @@ int main(int argc, char** argv) {
     BuildContext ctx = defaultBuildContext(args.fast);
     ctx.campaignSeed = args.seed;
     ctx.metrics = args.metrics;
+    ctx.sat.warmCacheDir = args.warmCache;
     ctx.log = logLine;
     auto memo = std::make_shared<std::map<std::string, double>>(data.values);
     const std::string name = args.name;
@@ -174,6 +203,9 @@ int main(int argc, char** argv) {
   opts.jobs = args.jobs;
   opts.outPath = args.out;
   opts.resume = true;
+  opts.warmCacheDir = args.warmCache;
+  opts.checkpointDir = args.checkpointDir;
+  opts.checkpointEvery = args.checkpointEvery;
   opts.log = logLine;
   const CampaignSummary summary = runCampaign(spec, opts);
 
