@@ -35,19 +35,28 @@ constexpr double kHalfSat = 0.38195418397913583;
 constexpr Cycle kWarmupCycles = 5'000;
 constexpr Cycle kCyclesPerIteration = 10'000;
 
+/// Knobs beyond the scheme/load shape; defaults reproduce the classic
+/// 8x8 single-threaded loop.
+struct HotLoopOptions {
+  int meshDim = 8;        ///< square mesh side (8 or 16)
+  int shardThreads = 0;   ///< 0 = legacy engine; n >= 1 = sharded engine
+  bool withMetrics = false;
+  bool withSnapshotHook = false;
+};
+
 /// A warm, endlessly injectable simulation: measurement windows are
 /// irrelevant here, so they are pushed out far enough that sources and
 /// stats behave identically for the whole benchmark run.
 struct HotLoop {
-  Mesh mesh{8, 8};
+  Mesh mesh;
   RegionMap regions;
   std::unique_ptr<ArbiterPolicy> policy;
   std::unique_ptr<Simulator> sim;
   std::optional<metrics::MetricsRecorder> recorder;
 
   HotLoop(const SchemeSpec& scheme, double app1Fraction,
-          bool withMetrics = false, bool withSnapshotHook = false)
-      : regions(RegionMap::halves(mesh)) {
+          HotLoopOptions opts = {})
+      : mesh(opts.meshDim, opts.meshDim), regions(RegionMap::halves(mesh)) {
     const auto apps = scenarios::twoAppInterRegion(
         /*p=*/1.0, scenarios::kLowLoadFraction * kHalfSat,
         app1Fraction * kHalfSat);
@@ -56,6 +65,7 @@ struct HotLoop {
     cfg.measureCycles = 1'000'000'000;  // never stop admitting packets
     cfg.routing = scheme.routing;
     cfg.net.rairPartition = scheme.needsRairPartition();
+    cfg.shardThreads = opts.shardThreads;
 
     std::vector<double> intensities;
     for (const auto& a : apps) intensities.push_back(a.injectionRate);
@@ -67,16 +77,16 @@ struct HotLoop {
           std::make_unique<RegionalizedSource>(mesh, regions, a, seed));
       seed += 0x9E3779B9ull;
     }
-    if (withMetrics) {
+    if (opts.withMetrics) {
       // The default-level recorder, exactly as runScenario() attaches it;
       // the *_metrics benchmark variants measure its per-cycle overhead
       // (tools/perf_check.py --paired-suffix guards it in CI).
       metrics::MetricsOptions mo;  // Counters level, no sinks
       recorder.emplace(sim->network(), regions, mo, /*numApps=*/2,
                        kWarmupCycles);
-      sim->addObserver(&*recorder);
+      sim->observers().attach(&*recorder);
     }
-    if (withSnapshotHook) {
+    if (opts.withSnapshotHook) {
       // An installed hook that never fires (save point at kNeverCycle, no
       // periodic interval): the *_snapshot variants measure the armed
       // per-cycle snapshot predicate, the only cost runScenario pays when
@@ -90,9 +100,8 @@ struct HotLoop {
 };
 
 void BM_hotpath(benchmark::State& st, const SchemeSpec& scheme,
-                double app1Fraction, bool withMetrics = false,
-                bool withSnapshotHook = false) {
-  HotLoop loop(scheme, app1Fraction, withMetrics, withSnapshotHook);
+                double app1Fraction, HotLoopOptions opts = {}) {
+  HotLoop loop(scheme, app1Fraction, opts);
   const std::uint64_t hops0 = loop.sim->network().totalFlitsTraversed();
   std::uint64_t cycles = 0;
   for (auto _ : st) {
@@ -123,20 +132,42 @@ RAIR_HOTPATH_BENCH(ra_rair_saturated, schemeRaRair(), 1.10);
 // Same knee workloads with the default-level metrics recorder attached:
 // the "_metrics" suffix pairs each with its bare twin so perf_check.py
 // can bound the instrumentation overhead (<= 2% on cycles_per_sec).
-BENCHMARK_CAPTURE(BM_hotpath, ro_rr_knee_metrics, schemeRoRr(), 0.85, true)
+BENCHMARK_CAPTURE(BM_hotpath, ro_rr_knee_metrics, schemeRoRr(), 0.85,
+                  HotLoopOptions{.withMetrics = true})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_hotpath, ra_rair_knee_metrics, schemeRaRair(), 0.85,
-                  true)
+                  HotLoopOptions{.withMetrics = true})
     ->Unit(benchmark::kMillisecond);
 
 // Same knee workloads with a snapshot hook installed but never firing:
 // the "_snapshot" suffix pairs each with its bare twin so perf_check.py
 // can bound the armed snapshot predicate overhead (<= 2%).
 BENCHMARK_CAPTURE(BM_hotpath, ro_rr_knee_snapshot, schemeRoRr(), 0.85,
-                  /*withMetrics=*/false, /*withSnapshotHook=*/true)
+                  HotLoopOptions{.withSnapshotHook = true})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_hotpath, ra_rair_knee_snapshot, schemeRaRair(), 0.85,
-                  /*withMetrics=*/false, /*withSnapshotHook=*/true)
+                  HotLoopOptions{.withSnapshotHook = true})
+    ->Unit(benchmark::kMillisecond);
+
+// 16x16 mesh (256 nodes), the workload size where intra-run parallelism
+// pays: the bare cell, its 1-shard sharded twin ("_sharded1" pairs with
+// the bare name so perf_check.py bounds the engine's staging overhead at
+// <= 3%), and the thread sweep. Speedup at t8 depends on physical cores;
+// BENCH_core_hotpath.json records the machine it was generated on.
+BENCHMARK_CAPTURE(BM_hotpath, ra_rair_knee16, schemeRaRair(), 0.85,
+                  HotLoopOptions{.meshDim = 16})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_hotpath, ra_rair_knee16_sharded1, schemeRaRair(), 0.85,
+                  HotLoopOptions{.meshDim = 16, .shardThreads = 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_hotpath, ra_rair_knee16_t2, schemeRaRair(), 0.85,
+                  HotLoopOptions{.meshDim = 16, .shardThreads = 2})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_hotpath, ra_rair_knee16_t4, schemeRaRair(), 0.85,
+                  HotLoopOptions{.meshDim = 16, .shardThreads = 4})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_hotpath, ra_rair_knee16_t8, schemeRaRair(), 0.85,
+                  HotLoopOptions{.meshDim = 16, .shardThreads = 8})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

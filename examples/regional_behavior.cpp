@@ -41,15 +41,22 @@ int main() {
   const auto scheme = schemeRoRr();
   const auto policy = makePolicy(scheme, rates);
   Simulator sim(mesh, regions, cfg, *policy, 6);
-  std::uint64_t intraPkts = 0, interPkts = 0;
-  double intraLat = 0, interLat = 0, intraHops = 0, interHops = 0;
-  sim.setDeliveryObserver([&](const Packet& p) {
-    if (!sim.network().mesh().contains(p.src)) return;
-    const bool intra = regions.sameRegion(p.src, p.dst);
-    (intra ? intraPkts : interPkts)++;
-    (intra ? intraLat : interLat) += static_cast<double>(p.totalLatency());
-    (intra ? intraHops : interHops) += p.hops;
-  });
+  struct RegionSplit final : SimObserver {
+    const Mesh* mesh = nullptr;
+    const RegionMap* regions = nullptr;
+    std::uint64_t intraPkts = 0, interPkts = 0;
+    double intraLat = 0, interLat = 0, intraHops = 0, interHops = 0;
+    void onDelivery(const Packet& p) override {
+      if (!mesh->contains(p.src)) return;
+      const bool intra = regions->sameRegion(p.src, p.dst);
+      (intra ? intraPkts : interPkts)++;
+      (intra ? intraLat : interLat) += static_cast<double>(p.totalLatency());
+      (intra ? intraHops : interHops) += p.hops;
+    }
+  } split;
+  split.mesh = &mesh;
+  split.regions = &regions;
+  sim.observers().attach(&split);
   std::uint64_t seed = 1;
   for (const auto& a : apps) {
     sim.addSource(std::make_unique<RegionalizedSource>(mesh, regions, a, seed));
@@ -57,14 +64,14 @@ int main() {
   }
   const auto result = sim.run();
 
-  const double total = static_cast<double>(intraPkts + interPkts);
+  const double total = static_cast<double>(split.intraPkts + split.interPkts);
   std::printf("\nRB-3: intra-region traffic %.1f%%, inter-region %.1f%%\n",
-              100.0 * intraPkts / total, 100.0 * interPkts / total);
+              100.0 * split.intraPkts / total, 100.0 * split.interPkts / total);
   std::printf("  intra: mean %.1f cycles over %.1f hops\n",
-              intraLat / intraPkts, intraHops / intraPkts);
+              split.intraLat / split.intraPkts, split.intraHops / split.intraPkts);
   std::printf("  inter: mean %.1f cycles over %.1f hops  <- the critical, "
               "long-range minority\n",
-              interLat / interPkts, interHops / interPkts);
+              split.interLat / split.interPkts, split.interHops / split.interPkts);
 
   std::printf("\nRB-4: per-application APL (heterogeneous load):\n");
   for (AppId a = 0; a < 6; ++a)

@@ -88,10 +88,16 @@ struct CellRecord {
 struct CellContext {
   std::uint64_t seed = 0;
   snapshot::SnapshotOptions snap;
+  /// Sharded-engine threads per cell (ScenarioSpec::withThreads); 0 keeps
+  /// the single-threaded engine. Orthogonal to the runner's --jobs and
+  /// invisible in the records: results are byte-identical either way.
+  int shardThreads = 0;
 
-  /// Applies this context to a spec (seed + snapshot options).
+  /// Applies this context to a spec (seed + snapshot options + threads).
   ScenarioSpec& applyTo(ScenarioSpec& spec) const {
-    return spec.withSeed(seed).withSnapshot(snap);
+    spec.withSeed(seed).withSnapshot(snap);
+    if (shardThreads > 0) spec.withThreads(shardThreads);
+    return spec;
   }
 };
 

@@ -61,6 +61,7 @@ CampaignSummary runCampaign(const CampaignSpec& spec,
       ctx.snap.warmCacheDir = options.warmCacheDir;
       ctx.snap.checkpointDir = options.checkpointDir;
       ctx.snap.checkpointEvery = options.checkpointEvery;
+      ctx.shardThreads = options.shardThreads;
 
       const auto t0 = std::chrono::steady_clock::now();
       const ScenarioResult result = cell.run(ctx);

@@ -34,6 +34,10 @@ struct RunnerOptions {
   /// disables checkpointing.
   std::string checkpointDir;
   Cycle checkpointEvery = 25'000;
+  /// Sharded-engine threads inside each cell's simulation (composes with
+  /// `jobs`: total concurrency ~ jobs x shardThreads). 0 = single-threaded
+  /// cells; records are byte-identical for every value.
+  int shardThreads = 0;
   /// Progress reporting (one line per completed cell); null = silent.
   std::function<void(const std::string&)> log;
 };

@@ -85,6 +85,7 @@ FuzzCaseResult runCase(const FuzzCase& c, const SchemeSpec& scheme,
   cfg.warmupCycles = 0;
   cfg.measureCycles = c.sourceCycles;
   cfg.drainLimit = opts.drainBudget;
+  cfg.shardThreads = opts.shardThreads;
 
   const auto policy = makePolicy(scheme, intensities);
   Simulator sim(mesh, regions, cfg, *policy, numApps);
@@ -108,7 +109,7 @@ FuzzCaseResult runCase(const FuzzCase& c, const SchemeSpec& scheme,
   oo.maxInNetworkAge = opts.maxInNetworkAge;
   oo.failFast = false;
   NetworkOracle oracle(sim.network(), sim.ledger(), oo);
-  sim.addObserver(&oracle);
+  sim.observers().attach(&oracle);
 
   // Every case also runs the metrics recorder (counters level, no file
   // sinks) so the oracle's census cross-check exercises the same
@@ -117,7 +118,7 @@ FuzzCaseResult runCase(const FuzzCase& c, const SchemeSpec& scheme,
   mo.level = metrics::MetricsLevel::Counters;
   metrics::MetricsRecorder recorder(sim.network(), regions, mo, numApps,
                                     c.sourceCycles);
-  sim.addObserver(&recorder);
+  sim.observers().attach(&recorder);
 
   FuzzCaseResult res;
   res.caseSeed = caseSeed;

@@ -73,6 +73,11 @@ struct FuzzOptions {
   /// between dropping a credit and corrupting a metrics counter cell.
   bool injectFault = false;
   bool shrink = true;        ///< shrink failing cases (off in fault mode)
+  /// Run every case on the sharded cycle engine with this many threads
+  /// (SimConfig::shardThreads); 0 = single-threaded. Outcomes are
+  /// byte-identical either way — fuzzing with threads > 1 exercises the
+  /// engine's barriers under the oracle (and TSan in CI).
+  int shardThreads = 0;
 };
 
 struct FuzzCaseResult {

@@ -100,7 +100,7 @@ void NetworkOracle::onCycleEnd(Cycle now) {
     deadlockScan(now);
 }
 
-void NetworkOracle::onPacketDelivered(const Packet& p) {
+void NetworkOracle::onDelivery(const Packet& p) {
   windows_.erase(p.id);
   reportedStarved_.erase(p.id);
   ++deliveredPackets_;
@@ -589,7 +589,7 @@ void NetworkOracle::censusScan(Cycle now) {
   });
 
   // Windows of packets that left the ledger through any path other than
-  // onPacketDelivered would pin memory forever; prune them lazily.
+  // onDelivery would pin memory forever; prune them lazily.
   for (auto it = windows_.begin(); it != windows_.end();) {
     if (!ledger_->isLive(it->first))
       it = windows_.erase(it);

@@ -97,8 +97,8 @@ struct OracleReport {
 };
 
 /// Pure observer over one Network + packet ledger. Drive it either through
-/// Simulator::setObserver (the RAIR_CHECKS auto-arm path) or by calling
-/// onCycleEnd() manually after each Network::step().
+/// Simulator::observers().attach() (the RAIR_CHECKS auto-arm path) or by
+/// calling onCycleEnd() manually after each Network::step().
 class NetworkOracle final : public SimObserver {
  public:
   NetworkOracle(const Network& net, const PacketPool& ledger,
@@ -106,7 +106,7 @@ class NetworkOracle final : public SimObserver {
 
   // SimObserver:
   void onCycleEnd(Cycle now) override;
-  void onPacketDelivered(const Packet& p) override;
+  void onDelivery(const Packet& p) override;
 
   /// End-of-run checks: one final full scan, plus ledger-vs-network
   /// agreement (a drained ledger requires an empty network).
@@ -114,7 +114,7 @@ class NetworkOracle final : public SimObserver {
 
   /// Cross-validates an external delivery census (the metrics registry's
   /// totals) against the oracle's own independent counts, taken in
-  /// onPacketDelivered. Any mismatch — e.g. a corrupted counter cell — is
+  /// onDelivery. Any mismatch — e.g. a corrupted counter cell — is
   /// reported as a violation. Plain integers, so callers need no metrics
   /// dependency.
   void crossValidateTotals(Cycle now, std::uint64_t deliveredPackets,

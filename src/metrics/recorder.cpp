@@ -61,7 +61,7 @@ MetricsRecorder::MetricsRecorder(const Network& net, const RegionMap& regions,
       {"dpa_flips", {Dimension::Router}, {numRouters}});
 }
 
-void MetricsRecorder::onPacketDelivered(const Packet& p) {
+void MetricsRecorder::onDelivery(const Packet& p) {
   const auto slot =
       static_cast<std::size_t>(appSlot(p.app, numApps_));
   registry_.incCounter(deliveredPacketsH_, slot);

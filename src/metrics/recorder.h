@@ -42,7 +42,7 @@ class MetricsRecorder final : public SimObserver {
 
   // SimObserver:
   void onCycleEnd(Cycle now) override;
-  void onPacketDelivered(const Packet& p) override;
+  void onDelivery(const Packet& p) override;
 
   /// Closes collection: snapshots per-router counters and DPA state into
   /// the registry and computes the aggregate summary. Call exactly once,

@@ -95,26 +95,49 @@ void Network::step(Cycle now) {
 
 void Network::propagateCongestion() {
   std::swap(agg_, aggPrev_);
+  for (NodeId n = 0; n < mesh_->numNodes(); ++n) propagateCongestionRow(n);
+}
+
+void Network::propagateCongestionRow(NodeId n) {
   const std::size_t H = static_cast<std::size_t>(maxHops_);
-  for (NodeId n = 0; n < mesh_->numNodes(); ++n) {
-    for (int di = 0; di < 4; ++di) {
-      const Dir d = static_cast<Dir>(di + 1);
-      const int local = routers_[static_cast<size_t>(n)].freeAdaptiveOutVcs(d);
-      int* out = &agg_[(static_cast<size_t>(n) * 4 +
-                        static_cast<size_t>(di)) * H];
-      out[0] = local;
-      const NodeId nb = neighborTable_[static_cast<size_t>(n) * 4 +
-                                       static_cast<size_t>(di)];
-      if (nb >= 0) {
-        // h-hop info: local knowledge plus the neighbor's (h-1)-hop
-        // aggregate from the previous cycle (1 hop/cycle wire delay).
-        const int* prev = &aggPrev_[(static_cast<size_t>(nb) * 4 +
-                                     static_cast<size_t>(di)) * H];
-        for (std::size_t h = 1; h < H; ++h) out[h] = local + prev[h - 1];
-      } else {
-        for (std::size_t h = 1; h < H; ++h) out[h] = local;
-      }
+  for (int di = 0; di < 4; ++di) {
+    const Dir d = static_cast<Dir>(di + 1);
+    const int local = routers_[static_cast<size_t>(n)].freeAdaptiveOutVcs(d);
+    int* out = &agg_[(static_cast<size_t>(n) * 4 +
+                      static_cast<size_t>(di)) * H];
+    out[0] = local;
+    const NodeId nb = neighborTable_[static_cast<size_t>(n) * 4 +
+                                     static_cast<size_t>(di)];
+    if (nb >= 0) {
+      // h-hop info: local knowledge plus the neighbor's (h-1)-hop
+      // aggregate from the previous cycle (1 hop/cycle wire delay).
+      const int* prev = &aggPrev_[(static_cast<size_t>(nb) * 4 +
+                                   static_cast<size_t>(di)) * H];
+      for (std::size_t h = 1; h < H; ++h) out[h] = local + prev[h - 1];
+    } else {
+      for (std::size_t h = 1; h < H; ++h) out[h] = local;
     }
+  }
+}
+
+void Network::phaseInjectRoute(Cycle now, NodeId begin, NodeId end) {
+  for (NodeId n = begin; n < end; ++n) {
+    nics_[static_cast<size_t>(n)].tick(now);
+    Router& r = routers_[static_cast<size_t>(n)];
+    r.beginCycle(now);
+    r.routeCompute(now);
+    r.vcAllocate(now);
+  }
+}
+
+void Network::phaseRetireCongestion() { std::swap(agg_, aggPrev_); }
+
+void Network::phaseTraversePropagate(Cycle now, NodeId begin, NodeId end) {
+  for (NodeId n = begin; n < end; ++n) {
+    Router& r = routers_[static_cast<size_t>(n)];
+    r.switchAllocateAndTraverse(now);
+    r.endCycle(now);
+    propagateCongestionRow(n);
   }
 }
 

@@ -53,6 +53,28 @@ class Network final : public CongestionView {
   /// phases, then congestion-information propagation.
   void step(Cycle now);
 
+  // --- Shard-callable phase slices (sim/shard.h) -------------------------
+  // The sharded engine advances disjoint contiguous node ranges through
+  // two fused phases with a barrier between them (and runs the congestion
+  // retire once, on the coordinator, at that barrier). Each slice touches
+  // only range-local state: a node's own NIC/router buffers plus its own
+  // side of the attached links — the two DelayPipes of a link (flits
+  // downstream, credits upstream) are each written by exactly one endpoint
+  // per phase, so disjoint ranges never race and the fused schedule is
+  // byte-identical to step() for any partition.
+
+  /// Fused phase A over [begin, end): NIC tick, then router beginCycle /
+  /// routeCompute / vcAllocate per node. Reads the congestion table
+  /// (stable until phaseRetireCongestion), writes node-local state only.
+  void phaseInjectRoute(Cycle now, NodeId begin, NodeId end);
+  /// Run once between phase A and phase B: retires the congestion table
+  /// (current aggregates become the previous-cycle values phase B reads).
+  void phaseRetireCongestion();
+  /// Fused phase B over [begin, end): switchAllocateAndTraverse / endCycle
+  /// per node, then the node's congestion-aggregate row (own free-VC count
+  /// combined with the neighbors' retired previous-cycle rows).
+  void phaseTraversePropagate(Cycle now, NodeId begin, NodeId end);
+
   Nic& nic(NodeId n) { return nics_[static_cast<size_t>(n)]; }
   const Nic& nic(NodeId n) const { return nics_[static_cast<size_t>(n)]; }
   Router& router(NodeId n) { return routers_[static_cast<size_t>(n)]; }
@@ -86,6 +108,10 @@ class Network final : public CongestionView {
  private:
   void wire();
   void propagateCongestion();
+  /// One node's congestion-aggregate row, from its post-traversal free-VC
+  /// counts and the neighbors' aggPrev_ rows (shared by propagateCongestion
+  /// and phaseTraversePropagate).
+  void propagateCongestionRow(NodeId n);
 
   const Mesh* mesh_;
   const RegionMap* regions_;

@@ -134,7 +134,7 @@ ScenarioResult runScenario(const ScenarioSpec& spec) {
   // observer, so results are bit-identical to the unarmed build.
   check::NetworkOracle oracle(sim.network(), sim.ledger(),
                               check::OracleOptions::armed());
-  sim.addObserver(&oracle);
+  sim.observers().attach(&oracle);
 #endif
   // The recorder is likewise a pure observer: results stay bit-identical
   // whether or not instrumentation is attached.
@@ -142,7 +142,7 @@ ScenarioResult runScenario(const ScenarioSpec& spec) {
   if (spec.metrics.enabled()) {
     recorder.emplace(sim.network(), *spec.regions, spec.metrics, numApps,
                      cfg.warmupCycles + cfg.measureCycles);
-    sim.addObserver(&*recorder);
+    sim.observers().attach(&*recorder);
   }
   out.run = sim.run();
   if (!ckptPath.empty()) snapshot::removeCheckpoint(ckptPath);

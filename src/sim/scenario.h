@@ -113,6 +113,15 @@ struct ScenarioSpec {
     seed = s;
     return *this;
   }
+  /// Runs the simulation on the deterministic sharded cycle engine with
+  /// `n` shards/worker threads (n >= 1); results and snapshots are
+  /// byte-identical for every value, and to the default single-threaded
+  /// engine. Excluded from warm/full scenario keys, so checkpoints and
+  /// warm caches are shared across thread counts.
+  ScenarioSpec& withThreads(int n) {
+    config.shardThreads = n;
+    return *this;
+  }
   ScenarioSpec& withMetrics(const metrics::MetricsOptions& m) {
     metrics = m;
     return *this;

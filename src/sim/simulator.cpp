@@ -33,6 +33,38 @@ Simulator::Simulator(const Mesh& mesh, const RegionMap& regions,
                                      config.routing, policy)),
       stats_(numApps) {
   for (NodeId n = 0; n < mesh.numNodes(); ++n) net_->nic(n).setEvents(this);
+  if (config_.shardThreads >= 1)
+    engine_ = std::make_unique<ShardEngine>(
+        *net_, static_cast<NicEvents&>(*this), config_.shardThreads);
+  snapTripwire_.sim = this;
+}
+
+void Simulator::setDeliveryHook(DeliveryHook hook) {
+  deliveryHook_ = std::move(hook);
+  // A hook creates packets mid-delivery; the staged replay of the sharded
+  // engine cannot reproduce the single-threaded interleaving of those
+  // injections, so hooked simulations step single-threaded.
+  if (deliveryHook_ && engine_ != nullptr) engine_.reset();
+}
+
+void Simulator::setDeliveryObserver(DeliveryObserver obs) {
+  observers_.detach(&deliveryShim_);
+  deliveryShim_.fn = std::move(obs);
+  if (deliveryShim_.fn) observers_.attach(&deliveryShim_);
+}
+
+void Simulator::SnapshotTripwire::onCycleBegin(Cycle now) {
+  if (now == savePoint || (every != 0 && now != 0 && now % every == 0))
+    hook(*sim, now);
+}
+
+void Simulator::setSnapshotHook(SnapshotHook hook, Cycle savePoint,
+                                Cycle every) {
+  observers_.detach(&snapTripwire_);
+  snapTripwire_.hook = std::move(hook);
+  snapTripwire_.savePoint = savePoint;
+  snapTripwire_.every = every;
+  if (snapTripwire_.hook) observers_.attach(&snapTripwire_);
 }
 
 void Simulator::addSource(std::unique_ptr<TrafficSource> src) {
@@ -80,9 +112,7 @@ void Simulator::onDelivered(PacketId id, Cycle when, std::uint16_t hops) {
   if (stats_.inMeasurementWindow(p.createCycle))
     measuredFlitsDelivered_ += p.numFlits;
   if (deliveryHook_) deliveryHook_(p, *this);
-  if (deliveryObserver_) deliveryObserver_(p);
-  for (std::size_t i = 0; i < numObservers_; ++i)
-    observers_[i]->onPacketDelivered(p);
+  observers_.notifyDelivery(p);
 }
 
 void Simulator::begin() {
@@ -91,24 +121,23 @@ void Simulator::begin() {
 }
 
 void Simulator::stepCycle() {
-  if (snapEnabled_ &&
-      (now_ == snapSavePoint_ ||
-       (snapEvery_ != 0 && now_ != 0 && now_ % snapEvery_ == 0)))
-    snapHook_(*this, now_);
+  observers_.notifyCycleBegin(now_);
   while (!deferred_.empty() && deferred_.top().when <= now_) {
     const Deferred d = deferred_.top();
     deferred_.pop();
     createPacket(d.src, d.dst, d.app, d.cls, d.numFlits);
   }
   for (auto& src : sources_) src->tick(*this);
-  net_->step(now_);
+  if (engine_ != nullptr)
+    engine_->step(now_);
+  else
+    net_->step(now_);
   if (net_->flitsMovedLastCycle() > 0 || delivered_ != lastDelivered_ ||
       ledger_.empty()) {
     lastProgress_ = now_;
     lastDelivered_ = delivered_;
   }
-  for (std::size_t i = 0; i < numObservers_; ++i)
-    observers_[i]->onCycleEnd(now_);
+  observers_.notifyCycleEnd(now_);
   ++now_;
 }
 

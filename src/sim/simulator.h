@@ -4,7 +4,7 @@
 // network running ("drain") until every measured packet is delivered.
 #pragma once
 
-#include <array>
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -17,6 +17,7 @@
 #include "region/region_map.h"
 #include "sim/network.h"
 #include "sim/nic.h"
+#include "sim/shard.h"
 #include "stats/stats.h"
 #include "traffic/source.h"
 
@@ -36,6 +37,12 @@ struct SimConfig {
   /// Abort if no flit moves and nothing is delivered for this many cycles
   /// while packets are in flight (deadlock/livelock tripwire).
   Cycle progressTimeout = 50'000;
+  /// 0 = classic single-threaded stepping. n >= 1 runs the deterministic
+  /// sharded cycle engine (sim/shard.h) with n shards/worker threads;
+  /// results, observer sequences and snapshot bytes are byte-identical to
+  /// the single-threaded engine for every value. Excluded from scenario
+  /// snapshot keys — checkpoints are thread-count-agnostic.
+  int shardThreads = 0;
 };
 
 /// How a run ended. Callers that must distinguish a clean drain from a
@@ -56,19 +63,70 @@ const char* terminationName(Termination t);
 std::optional<Termination> terminationFromName(std::string_view name);
 
 /// Passive observer of the simulation loop — the attachment point of the
-/// simulation oracle (src/check/). Called after every completed network
-/// cycle and after every delivery; implementations must not mutate
-/// simulation state (an observed run must stay bit-identical to an
-/// unobserved one).
+/// simulation oracle (src/check/), the metrics recorder and the snapshot
+/// tripwire. Every callback defaults to a no-op; implementations override
+/// what they need and must not mutate simulation state (an observed run
+/// must stay bit-identical to an unobserved one).
 class SimObserver {
  public:
   virtual ~SimObserver() = default;
+  /// Cycle `now` is about to run: fired at the top of stepCycle(), before
+  /// deferred injections and source ticks — the state capture point the
+  /// snapshot tripwire uses.
+  virtual void onCycleBegin(Cycle now) { (void)now; }
   /// The network finished advancing cycle `now` (all pipeline phases and
   /// congestion propagation done).
-  virtual void onCycleEnd(Cycle now) = 0;
+  virtual void onCycleEnd(Cycle now) { (void)now; }
   /// Packet `p` was delivered (already released from the ledger; `p` is a
   /// copy with ejectCycle/hops filled in).
-  virtual void onPacketDelivered(const Packet& p) { (void)p; }
+  virtual void onDelivery(const Packet& p) { (void)p; }
+};
+
+/// The simulator's dynamic observer list: attach/detach in any order, no
+/// slot-count ceiling. Observers fire in attachment order; detaching
+/// preserves the relative order of the rest. Attachment is not part of
+/// simulation state (never snapshotted): a restored run re-attaches its
+/// own observers.
+class ObserverSet {
+ public:
+  /// Appends `obs` (must be non-null and not currently attached).
+  void attach(SimObserver* obs) {
+    RAIR_CHECK_MSG(obs != nullptr, "ObserverSet::attach(nullptr)");
+    RAIR_CHECK_MSG(!attached(obs), "observer attached twice");
+    observers_.push_back(obs);
+  }
+  /// Removes `obs`, keeping the order of the others; false when absent.
+  bool detach(const SimObserver* obs) {
+    for (std::size_t i = 0; i < observers_.size(); ++i) {
+      if (observers_[i] == obs) {
+        observers_.erase(observers_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+  void clear() { observers_.clear(); }
+  bool attached(const SimObserver* obs) const {
+    for (const SimObserver* o : observers_)
+      if (o == obs) return true;
+    return false;
+  }
+  bool empty() const { return observers_.empty(); }
+  std::size_t size() const { return observers_.size(); }
+
+  void notifyCycleBegin(Cycle now) const {
+    for (SimObserver* o : observers_) o->onCycleBegin(now);
+  }
+  void notifyCycleEnd(Cycle now) const {
+    for (SimObserver* o : observers_) o->onCycleEnd(now);
+  }
+  void notifyDelivery(const Packet& p) const {
+    for (SimObserver* o : observers_) o->onDelivery(p);
+  }
+
+ private:
+  std::vector<SimObserver*> observers_;
 };
 
 struct RunResult {
@@ -99,16 +157,20 @@ class Simulator final : public InjectionSink, private NicEvents {
   void addSource(std::unique_ptr<TrafficSource> src);
 
   /// Optional hook fired on every delivery — used by the trace substrate
-  /// to synthesize replies to requests.
+  /// to synthesize replies to requests. Installing a hook reverts the
+  /// simulator to single-threaded stepping: a hook may create packets
+  /// mid-delivery, which the sharded engine's staged replay cannot
+  /// reproduce in the single-threaded event order.
   using DeliveryHook = std::function<void(const Packet&, InjectionSink&)>;
-  void setDeliveryHook(DeliveryHook hook) { deliveryHook_ = std::move(hook); }
+  void setDeliveryHook(DeliveryHook hook);
 
-  /// Passive observer fired on every delivery, after the hook. Useful for
-  /// tests and custom measurements (e.g. request round-trip times).
+  /// Superseded by SimObserver::onDelivery — implement the interface and
+  /// attach it via observers() instead. This shim wraps the function into
+  /// an internal observer occupying one ObserverSet slot.
   using DeliveryObserver = std::function<void(const Packet&)>;
-  void setDeliveryObserver(DeliveryObserver obs) {
-    deliveryObserver_ = std::move(obs);
-  }
+  [[deprecated(
+      "implement SimObserver::onDelivery and attach via observers()")]]
+  void setDeliveryObserver(DeliveryObserver obs);
 
   /// Schedules a packet to be created at a future cycle (e.g. a reply
   /// after a cache-service latency).
@@ -140,22 +202,11 @@ class Simulator final : public InjectionSink, private NicEvents {
   /// flits found in the network).
   const PacketPool& ledger() const { return ledger_; }
 
-  /// Resets the observer list to a single observer (null detaches all).
-  /// The only per-cycle cost when none is attached is one predictable
-  /// branch.
-  void setObserver(SimObserver* obs) {
-    numObservers_ = 0;
-    if (obs != nullptr) addObserver(obs);
-  }
-
-  /// Appends a passive observer; at most kMaxObservers may be attached
-  /// (the oracle and the metrics recorder each take one slot). Observers
-  /// fire in attachment order.
-  void addObserver(SimObserver* obs) {
-    RAIR_CHECK_MSG(obs != nullptr, "addObserver(nullptr)");
-    RAIR_CHECK_MSG(numObservers_ < kMaxObservers, "too many observers");
-    observers_[numObservers_++] = obs;
-  }
+  /// The dynamic observer list (oracle, metrics recorder, snapshot
+  /// tripwire, test probes — any number). Observers fire in attachment
+  /// order; when the set is empty the per-cycle cost is two empty loops.
+  ObserverSet& observers() { return observers_; }
+  const ObserverSet& observers() const { return observers_; }
 
   // --- Snapshot/restore ---------------------------------------------------
   /// Whether this simulation's complete state can be captured: every
@@ -172,29 +223,43 @@ class Simulator final : public InjectionSink, private NicEvents {
   /// Installs a hook fired at the top of stepCycle() when exactly
   /// `savePoint` cycles have completed, and additionally every `every`
   /// cycles when `every` is non-zero. The hook may save the simulator but
-  /// must not mutate it. Cost when no hook is installed: one predictable
-  /// branch per cycle.
+  /// must not mutate it. Implemented as an internal onCycleBegin observer
+  /// (the "snapshot tripwire") attached to the ObserverSet; a null hook
+  /// detaches it, making an idle simulator's begin-of-cycle loop empty.
   using SnapshotHook = std::function<void(const Simulator&, Cycle)>;
-  void setSnapshotHook(SnapshotHook hook, Cycle savePoint,
-                       Cycle every = 0) {
-    snapHook_ = std::move(hook);
-    snapSavePoint_ = savePoint;
-    snapEvery_ = every;
-    snapEnabled_ = static_cast<bool>(snapHook_);
-  }
+  void setSnapshotHook(SnapshotHook hook, Cycle savePoint, Cycle every = 0);
 
  private:
-  // NicEvents: every NIC reports into the simulator's ledger directly.
+  // NicEvents: every NIC reports into the simulator's ledger directly
+  // (via the sharded engine's staged replay when one is active).
   void onInjected(PacketId id, Cycle when) override;
   void onDelivered(PacketId id, Cycle when, std::uint16_t hops) override;
+
+  /// The snapshot predicate as a begin-of-cycle observer: fires the hook
+  /// when the save point or the periodic interval is due.
+  struct SnapshotTripwire final : SimObserver {
+    void onCycleBegin(Cycle now) override;
+    const Simulator* sim = nullptr;
+    SnapshotHook hook;
+    Cycle savePoint = kNeverCycle;
+    Cycle every = 0;
+  };
+
+  /// Wraps a deprecated std::function delivery observer (the shim behind
+  /// setDeliveryObserver).
+  struct FnDeliveryObserver final : SimObserver {
+    void onDelivery(const Packet& p) override { fn(p); }
+    DeliveryObserver fn;
+  };
 
   const Mesh* mesh_;
   SimConfig config_;
   std::unique_ptr<Network> net_;
+  std::unique_ptr<ShardEngine> engine_;  ///< present when shardThreads >= 1
   std::vector<std::unique_ptr<TrafficSource>> sources_;
   StatsCollector stats_;
   DeliveryHook deliveryHook_;
-  DeliveryObserver deliveryObserver_;
+  FnDeliveryObserver deliveryShim_;
 
   PacketPool ledger_{4096};
   struct Deferred {
@@ -216,9 +281,7 @@ class Simulator final : public InjectionSink, private NicEvents {
   };
   DeferredQueue deferred_;
 
-  static constexpr std::size_t kMaxObservers = 4;
-  std::array<SimObserver*, kMaxObservers> observers_{};
-  std::size_t numObservers_ = 0;
+  ObserverSet observers_;
   Cycle now_ = 0;
   std::uint64_t created_ = 0;
   std::uint64_t delivered_ = 0;
@@ -230,10 +293,7 @@ class Simulator final : public InjectionSink, private NicEvents {
   Cycle lastProgress_ = 0;
   std::uint64_t lastDelivered_ = 0;
 
-  SnapshotHook snapHook_;
-  Cycle snapSavePoint_ = kNeverCycle;
-  Cycle snapEvery_ = 0;
-  bool snapEnabled_ = false;
+  SnapshotTripwire snapTripwire_;
 };
 
 }  // namespace rair

@@ -61,13 +61,19 @@ std::vector<std::uint8_t> stateViaRestore(
 
 BisectResult bisectDivergence(const ScenarioSpec& spec, Cycle snapAt,
                               Cycle horizon) {
+  return bisectDivergence(spec, spec, snapAt, horizon);
+}
+
+BisectResult bisectDivergence(const ScenarioSpec& saveSpec,
+                              const ScenarioSpec& restoreSpec, Cycle snapAt,
+                              Cycle horizon) {
   RAIR_CHECK_MSG(snapAt < horizon, "bisectDivergence: empty cycle range");
   BisectResult res;
-  const std::vector<std::uint8_t> snap = stateAt(spec, snapAt);
+  const std::vector<std::uint8_t> snap = stateAt(saveSpec, snapAt);
 
   auto diffAt = [&](Cycle c) {
-    return firstDifferingSection(stateAt(spec, c),
-                                 stateViaRestore(spec, snap, c));
+    return firstDifferingSection(stateAt(saveSpec, c),
+                                 stateViaRestore(restoreSpec, snap, c));
   };
 
   // Restore itself must reproduce the saved state before any search makes

@@ -37,4 +37,14 @@ std::string firstDifferingSection(const std::vector<std::uint8_t>& a,
 BisectResult bisectDivergence(const ScenarioSpec& spec, Cycle snapAt,
                               Cycle horizon);
 
+/// Cross-engine variant: the snapshot and the straight reference run use
+/// `saveSpec`, the restored continuation uses `restoreSpec`. The two specs
+/// must describe the same scenario and may differ only in execution knobs
+/// that do not enter the scenario key (in practice: withThreads) — the
+/// tool that localizes a thread-count-dependent divergence to a cycle and
+/// a state section, proving checkpoints are thread-count-agnostic.
+BisectResult bisectDivergence(const ScenarioSpec& saveSpec,
+                              const ScenarioSpec& restoreSpec, Cycle snapAt,
+                              Cycle horizon);
+
 }  // namespace rair::snapshot

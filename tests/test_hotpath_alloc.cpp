@@ -95,7 +95,7 @@ std::uint64_t steadyStateAllocs(const SchemeSpec& scheme, Cycle warmCycles,
     metrics::MetricsOptions mo;  // Counters level
     recorder.emplace(sim.network(), regions, mo, /*numApps=*/2,
                      warmCycles + measuredCycles);
-    sim.addObserver(&*recorder);
+    sim.observers().attach(&*recorder);
   }
 
   sim.begin();

@@ -202,11 +202,11 @@ TEST(MetricsOracle, CrossValidationCatchesCorruptedCounter) {
   oo.period = 16;
   oo.failFast = false;
   check::NetworkOracle oracle(sim.network(), sim.ledger(), oo);
-  sim.addObserver(&oracle);
+  sim.observers().attach(&oracle);
   metrics::MetricsOptions mo;  // Counters level
   metrics::MetricsRecorder recorder(sim.network(), regions, mo, 2,
                                     cfg.measureCycles);
-  sim.addObserver(&recorder);
+  sim.observers().attach(&recorder);
 
   const RunResult run = sim.run();
   ASSERT_GT(run.packetsDelivered, 0u);

@@ -56,7 +56,7 @@ TEST(Oracle, CleanRunHasNoViolations) {
     oo.deadlockPeriod = 16;
     oo.failFast = false;
     check::NetworkOracle oracle(fx.sim->network(), fx.sim->ledger(), oo);
-    fx.sim->setObserver(&oracle);
+    fx.sim->observers().attach(&oracle);
     const RunResult r = fx.sim->run();
     oracle.finish(r.cyclesRun);
     const check::OracleReport rep = oracle.report();
@@ -76,7 +76,7 @@ TEST(Oracle, ArmedRunDoesNotPerturbResults) {
       oracle = std::make_unique<check::NetworkOracle>(
           fx.sim->network(), fx.sim->ledger(),
           check::OracleOptions::armed());
-      fx.sim->setObserver(oracle.get());
+      fx.sim->observers().attach(oracle.get());
     }
     return fx.sim->run();
   };
@@ -98,7 +98,7 @@ TEST(Oracle, DroppedCreditIsCaught) {
   oo.period = 1;
   oo.failFast = false;
   check::NetworkOracle oracle(fx.sim->network(), fx.sim->ledger(), oo);
-  fx.sim->setObserver(&oracle);
+  fx.sim->observers().attach(&oracle);
   fx.sim->begin();
 
   // Warm the network, then lose one credit on the first link that holds
@@ -130,7 +130,7 @@ TEST(Oracle, StarvationWatchdogFiresOnTinyAgeBound) {
   oo.maxInNetworkAge = 2;  // virtually every packet exceeds this
   oo.failFast = false;
   check::NetworkOracle oracle(fx.sim->network(), fx.sim->ledger(), oo);
-  fx.sim->setObserver(&oracle);
+  fx.sim->observers().attach(&oracle);
   fx.sim->begin();
   for (int i = 0; i < 300; ++i) fx.sim->stepCycle();
   const check::OracleReport rep = oracle.report();
@@ -146,7 +146,7 @@ TEST(Oracle, FinishFlagsUndrainedTrafficOnEmptyLedger) {
   check::OracleOptions oo;
   oo.failFast = false;
   check::NetworkOracle oracle(fx.sim->network(), fx.sim->ledger(), oo);
-  fx.sim->setObserver(&oracle);
+  fx.sim->observers().attach(&oracle);
   fx.sim->begin();
   for (int i = 0; i < 100; ++i) fx.sim->stepCycle();
   ASSERT_GT(fx.sim->inFlight(), 0u);

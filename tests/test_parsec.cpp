@@ -66,16 +66,19 @@ TEST(Parsec, RequestReplyHookGeneratesReplies) {
                           cfg.warmupCycles + cfg.measureCycles);
   sim.addSource(std::make_unique<ParsecSource>(
       m, rm, 0, parsecProfile(ParsecBenchmark::Fluidanimate), 5));
-  std::uint64_t requests = 0, replies = 0;
-  sim.setDeliveryObserver([&](const Packet& p) {
-    (p.msgClass == MsgClass::Request ? requests : replies)++;
-  });
+  struct ClassCounter final : SimObserver {
+    std::uint64_t requests = 0, replies = 0;
+    void onDelivery(const Packet& p) override {
+      (p.msgClass == MsgClass::Request ? requests : replies)++;
+    }
+  } counter;
+  sim.observers().attach(&counter);
   const auto r = sim.run();
   EXPECT_TRUE(r.fullyDrained);
   // Roughly one reply per request delivered before the cutoff (a handful
   // of replies to late requests may still be in flight at exit).
-  EXPECT_GT(requests, 50u);
-  EXPECT_GT(replies, requests / 2);
+  EXPECT_GT(counter.requests, 50u);
+  EXPECT_GT(counter.replies, counter.requests / 2);
   EXPECT_GE(r.packetsDelivered + 20, r.packetsCreated);
 }
 
@@ -93,12 +96,17 @@ TEST(Parsec, MemoryRequestsPayMemoryLatency) {
   // Node (1,1) -> corner (0,0) [memory] and -> (2,1) [L2 bank]. A reply's
   // createCycle is when the serving node issued it, so the service latency
   // is visible as the gap between reply creation times.
-  Cycle memReplyCreated = 0, l2ReplyCreated = 0;
-  sim.setDeliveryObserver([&](const Packet& p) {
-    if (p.msgClass != MsgClass::Reply) return;
-    (m.coordOf(p.src).x == 0 ? memReplyCreated : l2ReplyCreated) =
-        p.createCycle;
-  });
+  struct ReplyTimes final : SimObserver {
+    const Mesh* mesh = nullptr;
+    Cycle memReplyCreated = 0, l2ReplyCreated = 0;
+    void onDelivery(const Packet& p) override {
+      if (p.msgClass != MsgClass::Reply) return;
+      (mesh->coordOf(p.src).x == 0 ? memReplyCreated : l2ReplyCreated) =
+          p.createCycle;
+    }
+  } replyTimes;
+  replyTimes.mesh = &m;
+  sim.observers().attach(&replyTimes);
   sim.addSource(std::make_unique<testutil::ScriptedSource>(
       std::vector<testutil::ScriptedSource::Event>{
           {0, m.nodeAt({1, 1}), m.nodeAt({0, 0}), 0, 1, MsgClass::Request},
@@ -109,9 +117,10 @@ TEST(Parsec, MemoryRequestsPayMemoryLatency) {
   EXPECT_EQ(r.packetsDelivered, 4u);
   // The memory reply was issued ~ (memLatency - l2Latency) later than the
   // L2 reply (request distances are 2 hops vs 1 hop; service dominates).
-  ASSERT_GT(memReplyCreated, 0u);
-  ASSERT_GT(l2ReplyCreated, 0u);
-  EXPECT_GT(memReplyCreated, l2ReplyCreated + (t.memLatency - t.l2Latency) / 2);
+  ASSERT_GT(replyTimes.memReplyCreated, 0u);
+  ASSERT_GT(replyTimes.l2ReplyCreated, 0u);
+  EXPECT_GT(replyTimes.memReplyCreated,
+            replyTimes.l2ReplyCreated + (t.memLatency - t.l2Latency) / 2);
 }
 
 TEST(Parsec, HookRespectsCutoff) {

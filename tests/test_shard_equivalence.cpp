@@ -1,0 +1,298 @@
+// Sharded-engine equivalence: the deterministic sharded cycle engine
+// (sim/shard.h) must reproduce the single-threaded simulator bit-for-bit
+// at every thread count. The golden constants are the same recorded
+// seed-implementation numbers test_equivalence.cpp pins — a sharded run
+// is held to the exact same trajectory, not merely to a same-binary
+// reference. Suite names all start with "Shard" so CI can select this
+// subset for the ThreadSanitizer job with `ctest -R Shard`.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "campaign/runner.h"
+#include "scenarios/paper_scenarios.h"
+#include "sim/scenario.h"
+#include "snapshot/bisect.h"
+#include "snapshot/buffer.h"
+#include "snapshot/checkpoint.h"
+#include "sim/simulator.h"
+
+namespace rair {
+namespace {
+
+/// Calibrated half-mesh saturation of the seed fig09 campaign (same
+/// constant as test_equivalence.cpp).
+constexpr double kHalfSat = 0.38195418397913583;
+
+/// Fast-window fig12 scenario-a loads (same as test_equivalence.cpp).
+constexpr double kFig12RatesA[4] = {0.070229165341078717, 0.05664346945403196,
+                                    0.05664346945403196, 0.5679854733312848};
+
+ScenarioSpec fig09Spec(const Mesh& mesh, const RegionMap& regions, double p,
+                       const SchemeSpec& scheme, std::uint64_t seed) {
+  return ScenarioSpec(mesh, regions)
+      .withScheme(scheme)
+      .withApps(scenarios::twoAppInterRegion(
+          p, scenarios::kLowLoadFraction * kHalfSat,
+          scenarios::kHighLoadFraction * kHalfSat))
+      .withSeed(seed)
+      .withFastWindows();
+}
+
+ScenarioSpec fig12SpecA(const Mesh& mesh, const RegionMap& regions,
+                        const SchemeSpec& scheme, std::uint64_t seed) {
+  auto apps = scenarios::fourAppLowTowardHigh(0, 0);
+  for (std::size_t a = 0; a < 4; ++a) apps[a].injectionRate = kFig12RatesA[a];
+  return ScenarioSpec(mesh, regions)
+      .withScheme(scheme)
+      .withApps(std::move(apps))
+      .withSeed(seed)
+      .withFastWindows();
+}
+
+void expectFig09Golden(const ScenarioResult& r) {
+  ASSERT_EQ(r.appApl.size(), 2u);
+  EXPECT_EQ(r.appApl[0], 23.313518113299295);
+  EXPECT_EQ(r.appApl[1], 29.36873761982563);
+  EXPECT_EQ(r.meanApl, 28.725103050821176);
+  EXPECT_EQ(r.run.cyclesRun, 22062u);
+  EXPECT_EQ(r.run.packetsCreated, 85324u);
+  EXPECT_EQ(r.run.packetsDelivered, 85224u);
+  EXPECT_EQ(r.run.termination, Termination::Drained);
+}
+
+void expectFig12Golden(const ScenarioResult& r) {
+  ASSERT_EQ(r.appApl.size(), 4u);
+  EXPECT_EQ(r.appApl[0], 24.793486894360605);
+  EXPECT_EQ(r.appApl[1], 21.615497076023392);
+  EXPECT_EQ(r.appApl[2], 21.577321281840593);
+  EXPECT_EQ(r.appApl[3], 34.977863377860075);
+  EXPECT_EQ(r.meanApl, 31.979298232502522);
+  EXPECT_EQ(r.run.cyclesRun, 22088u);
+  EXPECT_EQ(r.run.packetsCreated, 88556u);
+  EXPECT_EQ(r.run.packetsDelivered, 88428u);
+  EXPECT_EQ(r.run.termination, Termination::Drained);
+}
+
+// ---- Golden numbers at every thread count ---------------------------------
+
+class ShardGolden : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardGolden, Fig09RoRrP0MatchesSeedImplementation) {
+  Mesh mesh(8, 8);
+  const RegionMap regions = RegionMap::halves(mesh);
+  const auto r = runScenario(
+      fig09Spec(mesh, regions, 0.0, schemeRoRr(), 10451216379200822465ull)
+          .withThreads(GetParam()));
+  expectFig09Golden(r);
+}
+
+TEST_P(ShardGolden, Fig12RaRairScenarioAMatchesRecordedGolden) {
+  Mesh mesh(8, 8);
+  const RegionMap regions = RegionMap::quadrants(mesh);
+  const auto r = runScenario(
+      fig12SpecA(mesh, regions, schemeRaRair(), 16184226688143867045ull)
+          .withThreads(GetParam()));
+  expectFig12Golden(r);
+}
+
+TEST_P(ShardGolden, Fig14RaRairMatchesRecordedGolden) {
+  // Fast-window calibrated fig14 loads and the cell-3 (RA_RAIR) seed of
+  // the full fig14 campaign (same constants as test_equivalence.cpp).
+  constexpr double kFig14Rates[6] = {0.078179636889125367, 0.62591033746705327,
+                                     0.14999999999999999,  0.15635927377825073,
+                                     0.23453891066737606,  0.62591033746705327};
+  Mesh mesh(8, 8);
+  const RegionMap regions = RegionMap::sixRegions(mesh);
+  const std::vector<double> rates(kFig14Rates, kFig14Rates + 6);
+  const auto apps = scenarios::sixAppMixed(PatternKind::UniformRandom, rates);
+  const auto r = runScenario(ScenarioSpec(mesh, regions)
+                                 .withScheme(schemeRaRair())
+                                 .withApps(apps)
+                                 .withSeed(8196980753821780235ull)
+                                 .withFastWindows()
+                                 .withThreads(GetParam()));
+  ASSERT_EQ(r.appApl.size(), 6u);
+  EXPECT_EQ(r.appApl[0], 21.290786948176585);
+  EXPECT_EQ(r.appApl[1], 32.404580000000003);
+  EXPECT_EQ(r.appApl[2], 21.113610657282894);
+  EXPECT_EQ(r.appApl[3], 21.894479216819128);
+  EXPECT_EQ(r.appApl[4], 22.057012113055183);
+  EXPECT_EQ(r.appApl[5], 32.967497127653139);
+  EXPECT_EQ(r.meanApl, 28.789471633416458);
+  EXPECT_EQ(r.run.cyclesRun, 22051u);
+  EXPECT_EQ(r.run.packetsCreated, 141596u);
+  EXPECT_EQ(r.run.packetsDelivered, 141429u);
+  EXPECT_EQ(r.run.termination, Termination::Drained);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ShardGolden, ::testing::Values(1, 2, 4, 8),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+// ---- Serialized-state byte equality ---------------------------------------
+
+std::vector<std::uint8_t> serializedAfter(const ScenarioSpec& spec,
+                                          Cycle cycles) {
+  AssembledScenario as = assembleScenario(spec);
+  as.sim->begin();
+  while (as.sim->now() < cycles) as.sim->stepCycle();
+  snapshot::Writer w;
+  as.sim->save(w);
+  return w.payload();
+}
+
+TEST(ShardState, SerializedStateMatchesLegacyByteForByte8x8) {
+  Mesh mesh(8, 8);
+  const RegionMap regions = RegionMap::halves(mesh);
+  const ScenarioSpec spec =
+      fig09Spec(mesh, regions, 0.5, schemeRaRair(), 17911839290282890590ull);
+  const auto legacy = serializedAfter(spec, 3000);
+  for (const int threads : {1, 2, 4, 8}) {
+    const auto sharded =
+        serializedAfter(ScenarioSpec(spec).withThreads(threads), 3000);
+    EXPECT_TRUE(legacy == sharded) << "threads=" << threads << ": "
+        << snapshot::firstDifferingSection(legacy, sharded);
+  }
+}
+
+TEST(ShardState, SerializedStateMatchesLegacyByteForByte16x16) {
+  // 16x16: node counts that do not divide evenly across shards (256 / 3,
+  // 256 / 7) exercise the remainder-distribution partitioning.
+  Mesh mesh(16, 16);
+  const RegionMap regions = RegionMap::halves(mesh);
+  const ScenarioSpec spec =
+      fig09Spec(mesh, regions, 0.25, schemeRaRair(), 8196980753821780235ull);
+  const auto legacy = serializedAfter(spec, 1500);
+  for (const int threads : {3, 7, 8}) {
+    const auto sharded =
+        serializedAfter(ScenarioSpec(spec).withThreads(threads), 1500);
+    EXPECT_TRUE(legacy == sharded) << "threads=" << threads << ": "
+        << snapshot::firstDifferingSection(legacy, sharded);
+  }
+}
+
+// ---- Campaign records across --shard-threads x --jobs ---------------------
+
+std::vector<std::string> canonicalLines(
+    const std::vector<campaign::CellRecord>& recs) {
+  std::vector<std::string> lines;
+  lines.reserve(recs.size());
+  for (const auto& r : recs)
+    lines.push_back(r.toJsonLine(/*includeVolatile=*/false));
+  return lines;
+}
+
+TEST(ShardCampaign, RecordsIndependentOfShardThreadsAndJobs) {
+  // The first two cells of the fig09 RO_RR row (p = 0, 25): same
+  // campaignSeed and cell order as the full fig09 campaign.
+  campaign::CampaignSpec spec;
+  spec.name = "fig09shard";
+  spec.campaignSeed = 1;
+  for (const int p : {0, 25}) {
+    campaign::CampaignCell cell;
+    cell.key = "RO_RR/p" + std::to_string(p);
+    cell.labels = {{"scheme", "RO_RR"}, {"p", std::to_string(p)}};
+    cell.run = [p](const campaign::CellContext& ctx) {
+      Mesh mesh(8, 8);
+      const RegionMap regions = RegionMap::halves(mesh);
+      ScenarioSpec s =
+          fig09Spec(mesh, regions, p / 100.0, schemeRoRr(), ctx.seed);
+      return runScenario(ctx.applyTo(s));
+    };
+    spec.add(std::move(cell));
+  }
+
+  campaign::RunnerOptions base;
+  base.jobs = 1;
+  const auto reference = campaign::runCampaign(spec, base);
+  ASSERT_EQ(reference.records.size(), 2u);
+  EXPECT_EQ(reference.records[0].seed, 10451216379200822465ull);
+  ASSERT_EQ(reference.records[0].appApl.size(), 2u);
+  EXPECT_EQ(reference.records[0].appApl[0], 23.313518113299295);
+  EXPECT_EQ(reference.records[0].cyclesRun, 22062u);
+
+  const struct {
+    int jobs, shardThreads;
+  } grid[] = {{1, 2}, {2, 1}, {4, 8}};
+  for (const auto& g : grid) {
+    campaign::RunnerOptions opts;
+    opts.jobs = g.jobs;
+    opts.shardThreads = g.shardThreads;
+    const auto run = campaign::runCampaign(spec, opts);
+    EXPECT_EQ(canonicalLines(run.records), canonicalLines(reference.records))
+        << "jobs=" << g.jobs << " shardThreads=" << g.shardThreads;
+  }
+}
+
+// ---- Thread-count-agnostic checkpoints ------------------------------------
+
+// Fast windows: warmup 2000, measurement ends at 22000; cycle 12000 is
+// mid-window with measured packets in flight.
+constexpr Cycle kMidWindow = 12'000;
+
+TEST(ShardContinuation, CheckpointAt8ThreadsResumesLegacyToGolden) {
+  Mesh mesh(8, 8);
+  const RegionMap regions = RegionMap::halves(mesh);
+  const ScenarioSpec spec =
+      fig09Spec(mesh, regions, 0.0, schemeRoRr(), 10451216379200822465ull);
+
+  const std::string path = ::testing::TempDir() + "rair_shard_cont_a.snap";
+  snapshot::removeFile(path);
+  ASSERT_TRUE(writeScenarioCheckpoint(ScenarioSpec(spec).withThreads(8),
+                                      kMidWindow, path));
+
+  // Resume on the classic single-threaded engine (shardThreads = 0).
+  const ScenarioResult r = runScenario(ScenarioSpec(spec).withCheckpoint(path));
+  EXPECT_EQ(r.resumedFromCycle, kMidWindow);
+  expectFig09Golden(r);
+}
+
+TEST(ShardContinuation, LegacyCheckpointResumesAt4ThreadsToGolden) {
+  Mesh mesh(8, 8);
+  const RegionMap regions = RegionMap::quadrants(mesh);
+  const ScenarioSpec spec =
+      fig12SpecA(mesh, regions, schemeRaRair(), 16184226688143867045ull);
+
+  const std::string path = ::testing::TempDir() + "rair_shard_cont_b.snap";
+  snapshot::removeFile(path);
+  ASSERT_TRUE(writeScenarioCheckpoint(spec, kMidWindow, path));
+
+  const ScenarioResult r = runScenario(
+      ScenarioSpec(spec).withCheckpoint(path).withThreads(4));
+  EXPECT_EQ(r.resumedFromCycle, kMidWindow);
+  expectFig12Golden(r);
+}
+
+// ---- Cross-engine divergence bisection ------------------------------------
+
+TEST(ShardBisect, SaveShardedRestoreLegacyNeverDiverges) {
+  Mesh mesh(8, 8);
+  const RegionMap regions = RegionMap::halves(mesh);
+  const ScenarioSpec spec =
+      fig09Spec(mesh, regions, 1.0, schemeRaRair(), 8042142155559163816ull);
+
+  const auto res = snapshot::bisectDivergence(
+      ScenarioSpec(spec).withThreads(8), spec, /*snapAt=*/200,
+      /*horizon=*/800);
+  EXPECT_FALSE(res.diverged)
+      << "cycle " << res.firstDivergentCycle << " section " << res.section;
+}
+
+TEST(ShardBisect, SaveLegacyRestoreShardedNeverDiverges) {
+  Mesh mesh(8, 8);
+  const RegionMap regions = RegionMap::halves(mesh);
+  const ScenarioSpec spec =
+      fig09Spec(mesh, regions, 1.0, schemeRaRair(), 8042142155559163816ull);
+
+  const auto res = snapshot::bisectDivergence(
+      spec, ScenarioSpec(spec).withThreads(3), /*snapAt=*/200,
+      /*horizon=*/800);
+  EXPECT_FALSE(res.diverged)
+      << "cycle " << res.firstDivergentCycle << " section " << res.section;
+}
+
+}  // namespace
+}  // namespace rair

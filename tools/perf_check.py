@@ -5,7 +5,7 @@ Usage:
     perf_check.py --baseline BENCH_core_hotpath.json --current run.json \
                   [--max-regression 0.25] [--metric cycles_per_sec] \
                   [--paired-suffix _metrics --paired-suffix _snapshot \
-                   --max-overhead 0.02]
+                   --paired-suffix _sharded1:0.03 --max-overhead 0.02]
 
 Both files are google-benchmark JSON (--benchmark_format=json). The check
 fails (exit 1) when any benchmark present in both files regresses by more
@@ -17,7 +17,9 @@ With --paired-suffix (repeatable), the check additionally compares, WITHIN
 the current file, every benchmark named "X<suffix>" against its bare twin
 "X" and fails when the suffixed variant is more than --max-overhead slower
 — the guard that keeps default-level metrics collection and the armed
-snapshot hook effectively free on the per-cycle hot path.
+snapshot hook effectively free on the per-cycle hot path. A suffix may
+carry its own bound as "SUFFIX:MAXOVERHEAD" (e.g. "_sharded1:0.03" allows
+the 1-shard cycle engine 3%% where the default bound is 2%%).
 """
 
 import argparse
@@ -55,10 +57,12 @@ def main():
     ap.add_argument("--paired-suffix", action="append", default=None,
                     help="also compare every 'X<suffix>' benchmark in the "
                          "current file against its bare twin 'X'; may be "
-                         "given multiple times")
+                         "given multiple times; an optional per-suffix "
+                         "bound is attached as 'SUFFIX:MAXOVERHEAD'")
     ap.add_argument("--max-overhead", type=float, default=0.02,
                     help="maximum tolerated fractional slowdown of a "
-                         "suffixed variant vs. its twin (default 0.02)")
+                         "suffixed variant vs. its twin (default 0.02; "
+                         "overridden per suffix by 'SUFFIX:BOUND')")
     args = ap.parse_args()
 
     base = load_metrics(args.baseline, args.metric)
@@ -80,7 +84,18 @@ def main():
     for name in sorted(set(cur) - set(base)):
         print(f"       NEW  {name} (not in baseline)")
 
-    for suffix in args.paired_suffix or []:
+    for spec in args.paired_suffix or []:
+        suffix, sep, bound = spec.partition(":")
+        if sep:
+            try:
+                max_overhead = float(bound)
+            except ValueError:
+                sys.exit(f"perf_check: bad per-suffix bound in "
+                         f"--paired-suffix {spec!r}")
+        else:
+            max_overhead = args.max_overhead
+        if not suffix:
+            sys.exit(f"perf_check: empty suffix in --paired-suffix {spec!r}")
         pairs = [(n[: -len(suffix)], n) for n in sorted(cur)
                  if n.endswith(suffix) and n[: -len(suffix)] in cur]
         if not pairs:
@@ -91,12 +106,12 @@ def main():
             ratio = c / b if b > 0 else float("inf")
             overhead = 1.0 - ratio
             status = "ok"
-            if overhead > args.max_overhead:
+            if overhead > max_overhead:
                 status = "OVERHEAD"
                 failures.append(suffixed)
             print(f"  {status:>10}  {suffixed} vs {bare}: {args.metric} "
                   f"{c:,.0f} vs {b:,.0f} ({overhead:+.1%} overhead, "
-                  f"limit {args.max_overhead:.0%})")
+                  f"limit {max_overhead:.0%})")
 
     if failures:
         print(f"perf_check: {len(failures)} benchmark(s) out of tolerance "

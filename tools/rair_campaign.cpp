@@ -55,7 +55,12 @@ void usage(std::FILE* to) {
       "                their last checkpoint, with byte-identical records\n"
       "  --checkpoint-every N\n"
       "                checkpoint refresh period in cycles (default "
-      "25000)\n");
+      "25000)\n"
+      "  --shard-threads N\n"
+      "                run each cell's simulation on the deterministic\n"
+      "                sharded cycle engine with N threads (composes with\n"
+      "                --jobs; records are byte-identical to\n"
+      "                single-threaded runs; default 0 = off)\n");
 }
 
 struct Args {
@@ -66,6 +71,7 @@ struct Args {
   rair::metrics::MetricsOptions metrics;
   rair::Cycle checkpointEvery = 25'000;
   int jobs = 0;
+  int shardThreads = 0;
   std::uint64_t seed = 1;
   bool fast = false;
   bool fresh = false;
@@ -103,6 +109,11 @@ bool parseArgs(int argc, char** argv, Args& args) {
       if (!v) return false;
       args.jobs = std::atoi(v);
       if (args.jobs <= 0) return false;
+    } else if (arg == "--shard-threads") {
+      const char* v = next();
+      if (!v) return false;
+      args.shardThreads = std::atoi(v);
+      if (args.shardThreads < 0) return false;
     } else if (arg == "--seed") {
       const char* v = next();
       if (!v) return false;
@@ -206,6 +217,7 @@ int main(int argc, char** argv) {
   opts.warmCacheDir = args.warmCache;
   opts.checkpointDir = args.checkpointDir;
   opts.checkpointEvery = args.checkpointEvery;
+  opts.shardThreads = args.shardThreads;
   opts.log = logLine;
   const CampaignSummary summary = runCampaign(spec, opts);
 

@@ -43,6 +43,10 @@ void usage(std::FILE* to) {
       "                       require the oracle to catch every one\n"
       "  --repro SEED         replay one case seed (decimal or 0x hex)\n"
       "  --no-shrink          report failures without shrinking\n"
+      "  --shard-threads N    run every case on the sharded cycle engine\n"
+      "                       with N threads (0 = single-threaded,\n"
+      "                       default); outcomes are byte-identical, the\n"
+      "                       engine's barriers run under the oracle\n"
       "  --quiet              suppress per-case progress dots\n");
 }
 
@@ -101,6 +105,11 @@ bool parseArgs(int argc, char** argv, Args& args) {
       if (!v) return false;
       args.opts.drainBudget = std::strtoull(v, nullptr, 10);
       if (args.opts.drainBudget == 0) return false;
+    } else if (arg == "--shard-threads") {
+      const char* v = next();
+      if (!v) return false;
+      args.opts.shardThreads = std::atoi(v);
+      if (args.opts.shardThreads < 0) return false;
     } else if (arg == "--schemes") {
       const char* v = next();
       if (!v) return false;

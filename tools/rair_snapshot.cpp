@@ -40,7 +40,14 @@ void usage(std::FILE* to) {
       "  --p N          inter-region traffic fraction in %% (default 50)\n"
       "  --seed N       scenario seed (default 1)\n"
       "  --snap-at N    cycle to snapshot at (default 1000)\n"
-      "  --horizon N    last cycle compared (default 3000)\n");
+      "  --horizon N    last cycle compared (default 3000)\n"
+      "  --shard-threads N\n"
+      "                 write the snapshot (and run the straight\n"
+      "                 reference) on the sharded cycle engine with N\n"
+      "                 threads while the restored run continues\n"
+      "                 single-threaded -- verifies checkpoints are\n"
+      "                 thread-count-agnostic (default 0 = both\n"
+      "                 single-threaded)\n");
 }
 
 bool schemeByName(const std::string& name, rair::SchemeSpec& out) {
@@ -102,7 +109,7 @@ int diff(const std::string& pathA, const std::string& pathB) {
 }
 
 int bisect(const rair::SchemeSpec& scheme, int p, std::uint64_t seed,
-           rair::Cycle snapAt, rair::Cycle horizon) {
+           rair::Cycle snapAt, rair::Cycle horizon, int shardThreads) {
   using namespace rair;
   Mesh mesh(8, 8);
   const RegionMap regions = RegionMap::halves(mesh);
@@ -114,13 +121,16 @@ int bisect(const rair::SchemeSpec& scheme, int p, std::uint64_t seed,
                           .withSeed(seed)
                           .withFastWindows();
   std::printf("bisecting %s p=%d%% seed=%" PRIu64 ", snapshot at cycle %"
-              PRIu64 ", horizon %" PRIu64 " (full key %016" PRIx64 ")\n",
+              PRIu64 ", horizon %" PRIu64 " (full key %016" PRIx64
+              ", save threads %d)\n",
               scheme.label.c_str(), p, seed,
               static_cast<std::uint64_t>(snapAt),
               static_cast<std::uint64_t>(horizon),
-              snapshot::fullStateKey(spec));
+              snapshot::fullStateKey(spec), shardThreads);
+  ScenarioSpec saveSpec = spec;
+  if (shardThreads > 0) saveSpec.withThreads(shardThreads);
   const snapshot::BisectResult r =
-      snapshot::bisectDivergence(spec, snapAt, horizon);
+      snapshot::bisectDivergence(saveSpec, spec, snapAt, horizon);
   if (!r.diverged) {
     std::printf("no divergence: restored run is byte-identical to the "
                 "straight run over the whole range\n");
@@ -143,6 +153,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   rair::Cycle snapAt = 1'000;
   rair::Cycle horizon = 3'000;
+  int shardThreads = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -167,6 +178,11 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) { usage(stderr); return 2; }
       seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--shard-threads") {
+      const char* v = next();
+      if (!v) { usage(stderr); return 2; }
+      shardThreads = std::atoi(v);
+      if (shardThreads < 0) { usage(stderr); return 2; }
     } else if (arg == "--snap-at") {
       const char* v = next();
       if (!v) { usage(stderr); return 2; }
@@ -196,7 +212,7 @@ int main(int argc, char** argv) {
       usage(stderr);
       return 2;
     }
-    return bisect(scheme, p, seed, snapAt, horizon);
+    return bisect(scheme, p, seed, snapAt, horizon, shardThreads);
   }
   usage(stderr);
   return 2;
