@@ -69,6 +69,17 @@ std::string CellRecord::toJsonLine(bool includeVolatile) const {
     m.set("dpa_flips", JsonValue(metrics->dpaFlips));
     rec.set("metrics", std::move(m));
   }
+  if (fault) {
+    JsonValue f{JsonValue::Object{}};
+    f.set("events_applied", JsonValue(fault->eventsApplied));
+    f.set("dropped_packets", JsonValue(fault->droppedPackets));
+    f.set("dropped_flits", JsonValue(fault->droppedFlits));
+    f.set("reroutes", JsonValue(fault->reroutes));
+    f.set("unreachable_pairs", JsonValue(fault->unreachablePairs));
+    f.set("degraded_cycles", JsonValue(fault->degradedCycles));
+    f.set("recovery_cycles", JsonValue(fault->recoveryCycles));
+    rec.set("fault", std::move(f));
+  }
   if (includeVolatile) rec.set("wall_ms", JsonValue(wallMs));
   return rec.dump();
 }
@@ -121,6 +132,21 @@ std::optional<CellRecord> CellRecord::fromJson(const JsonValue& v) {
     mnum("flits_traversed", cm.flitsTraversed);
     mnum("dpa_flips", cm.dpaFlips);
     r.metrics = cm;
+  }
+  if (const JsonValue* f = v.find("fault"); f && f->isObject()) {
+    fault::FaultStats fs;
+    auto fnum = [&](const char* name, std::uint64_t& out) {
+      if (const JsonValue* n = f->find(name); n && n->isNumber())
+        out = static_cast<std::uint64_t>(n->asNumber());
+    };
+    fnum("events_applied", fs.eventsApplied);
+    fnum("dropped_packets", fs.droppedPackets);
+    fnum("dropped_flits", fs.droppedFlits);
+    fnum("reroutes", fs.reroutes);
+    fnum("unreachable_pairs", fs.unreachablePairs);
+    fnum("degraded_cycles", fs.degradedCycles);
+    fnum("recovery_cycles", fs.recoveryCycles);
+    r.fault = fs;
   }
   return r;
 }
@@ -179,6 +205,7 @@ CellRecord makeCellRecord(const CampaignSpec& spec, const CampaignCell& cell,
     cm.dpaFlips = result.metrics->dpaFlips;
     r.metrics = cm;
   }
+  r.fault = result.faultStats;
   r.wallMs = wallMs;
   return r;
 }

@@ -62,6 +62,9 @@ struct CellRecord {
   double meanApl = 0.0;        ///< over all measured packets
   /// Present only when the cell ran at MetricsLevel::Summary or above.
   std::optional<CellMetrics> metrics;
+  /// Present only when the cell ran with a fault plan attached; fault-free
+  /// cells keep their records byte-identical to pre-fault builds.
+  std::optional<fault::FaultStats> fault;
   double wallMs = 0.0;  ///< volatile: excluded from the canonical form
   bool fromCache = false;  ///< loaded from a results file (not serialized)
 
@@ -92,11 +95,17 @@ struct CellContext {
   /// the single-threaded engine. Orthogonal to the runner's --jobs and
   /// invisible in the records: results are byte-identical either way.
   int shardThreads = 0;
+  /// Campaign-wide fault plan (rair_campaign --faults): attached to every
+  /// cell that does not already define its own plan. Part of each cell's
+  /// scenario identity, so faulted records never alias fault-free ones in
+  /// snapshot caches.
+  fault::FaultPlan faults;
 
   /// Applies this context to a spec (seed + snapshot options + threads).
   ScenarioSpec& applyTo(ScenarioSpec& spec) const {
     spec.withSeed(seed).withSnapshot(snap);
     if (shardThreads > 0) spec.withThreads(shardThreads);
+    if (!faults.empty() && spec.faults.empty()) spec.withFaults(faults);
     return spec;
   }
 };

@@ -62,6 +62,7 @@ CampaignSummary runCampaign(const CampaignSpec& spec,
       ctx.snap.checkpointDir = options.checkpointDir;
       ctx.snap.checkpointEvery = options.checkpointEvery;
       ctx.shardThreads = options.shardThreads;
+      ctx.faults = options.faults;
 
       const auto t0 = std::chrono::steady_clock::now();
       const ScenarioResult result = cell.run(ctx);

@@ -38,6 +38,10 @@ struct RunnerOptions {
   /// `jobs`: total concurrency ~ jobs x shardThreads). 0 = single-threaded
   /// cells; records are byte-identical for every value.
   int shardThreads = 0;
+  /// Campaign-wide fault plan (the --faults file): attached to every cell
+  /// that does not define its own plan. Changes results — faulted records
+  /// must go to their own outPath.
+  fault::FaultPlan faults;
   /// Progress reporting (one line per completed cell); null = silent.
   std::function<void(const std::string&)> log;
 };

@@ -7,6 +7,7 @@
 
 #include "common/assert.h"
 #include "common/rng.h"
+#include "fault/injector.h"
 #include "metrics/recorder.h"
 #include "sim/simulator.h"
 #include "traffic/source.h"
@@ -89,6 +90,8 @@ FuzzCaseResult runCase(const FuzzCase& c, const SchemeSpec& scheme,
 
   const auto policy = makePolicy(scheme, intensities);
   Simulator sim(mesh, regions, cfg, *policy, numApps);
+  // Declared after `sim` so the detaching destructor runs first.
+  std::unique_ptr<fault::FaultInjector> injector;
   std::uint64_t seed = c.simSeed;
   for (const auto& a : c.apps) {
     sim.addSource(std::make_unique<GatedSource>(
@@ -103,12 +106,18 @@ FuzzCaseResult runCase(const FuzzCase& c, const SchemeSpec& scheme,
         c.sourceCycles));
   }
 
+  if (!c.faults.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(sim, c.faults);
+    injector->attach();
+  }
+
   OracleOptions oo;
   oo.period = opts.period;
   oo.deadlockPeriod = opts.deadlockPeriod;
   oo.maxInNetworkAge = opts.maxInNetworkAge;
   oo.failFast = false;
   NetworkOracle oracle(sim.network(), sim.ledger(), oo);
+  if (injector) oracle.attachFaults(injector.get());
   sim.observers().attach(&oracle);
 
   // Every case also runs the metrics recorder (counters level, no file
@@ -168,6 +177,7 @@ FuzzCaseResult runCase(const FuzzCase& c, const SchemeSpec& scheme,
                              recorder.deliveredFlits());
   oracle.finish(sim.now());
   res.report = oracle.report();
+  res.droppedByFault = sim.droppedByFault();
   return res;
 }
 
@@ -187,6 +197,34 @@ FuzzCase shrinkCase(const FuzzCase& original, const SchemeSpec& scheme,
       *reduced = true;
     }
   };
+  // VC-geometry passes must not reinterpret a CreditLoss event's flat VC
+  // index under a different class/VC split (it could land on an escape VC
+  // or past the layout, changing what is being shrunk).
+  const auto plansCreditLoss = [](const FuzzCase& fc) {
+    for (const auto& e : fc.faults.events())
+      if (e.kind == fault::FaultKind::CreditLoss) return true;
+    return false;
+  };
+
+  // Fault dimension first: a case that still fails fault-free is the more
+  // valuable repro. Event-count halving keeps the *suffix* — every paired
+  // release sorts after its opener, so a suffix can never strand a stall
+  // or freeze open (lone releases are harmless no-ops).
+  if (!best.faults.empty()) {
+    FuzzCase cand = best;
+    cand.faults = fault::FaultPlan{};
+    tryKeep(std::move(cand));
+  }
+  for (int i = 0; i < 4 && best.faults.size() > 1; ++i) {
+    FuzzCase cand = best;
+    fault::FaultPlan half;
+    const auto& ev = best.faults.events();
+    for (std::size_t j = ev.size() / 2; j < ev.size(); ++j) half.add(ev[j]);
+    cand.faults = std::move(half);
+    if (!stillFails(cand)) break;
+    best = std::move(cand);
+    *reduced = true;
+  }
 
   for (int i = 0; i < 4 && best.sourceCycles > 100; ++i) {
     FuzzCase cand = best;
@@ -200,14 +238,14 @@ FuzzCase shrinkCase(const FuzzCase& original, const SchemeSpec& scheme,
     cand.adversarialRate = 0.0;
     tryKeep(std::move(cand));
   }
-  if (best.numClasses > 1) {
+  if (best.numClasses > 1 && !plansCreditLoss(best)) {
     FuzzCase cand = best;
     cand.numClasses = 1;
     for (auto& a : cand.apps) a.msgClass = MsgClass::Request;
     tryKeep(std::move(cand));
   }
   const int minVcs = scheme.needsRairPartition() ? 3 : 2;
-  if (best.vcsPerClass > minVcs) {
+  if (best.vcsPerClass > minVcs && !plansCreditLoss(best)) {
     FuzzCase cand = best;
     cand.vcsPerClass = minVcs;
     cand.globalVcsPerClass = -1;
@@ -254,6 +292,10 @@ std::string FuzzCase::describe() const {
                   static_cast<int>(a.interPattern),
                   static_cast<int>(a.interTargetApp),
                   static_cast<int>(a.msgClass));
+    s += buf;
+  }
+  if (!faults.empty()) {
+    std::snprintf(buf, sizeof buf, " faults %zu", faults.size());
     s += buf;
   }
   return s;
@@ -316,6 +358,72 @@ FuzzCase generateCase(std::uint64_t caseSeed) {
   return c;
 }
 
+fault::FaultPlan generateFaultPlan(std::uint64_t caseSeed,
+                                   const FuzzCase& c) {
+  Xoshiro256StarStar rng(splitMix64(caseSeed ^ 0xFA017ull));
+  Mesh mesh(c.meshW, c.meshH);
+  fault::FaultPlan plan;
+  const Cycle window = c.sourceCycles;
+  const auto randDuration = [&](Cycle lo, Cycle hi) {
+    return lo + rng.below(hi - lo + 1);
+  };
+  const auto randLink = [&](NodeId* node, Dir* dir) {
+    while (true) {
+      *node = static_cast<NodeId>(
+          rng.below(static_cast<std::uint64_t>(mesh.numNodes())));
+      *dir = static_cast<Dir>(1 + rng.below(4));
+      if (mesh.neighbor(*node, *dir)) return;
+    }
+  };
+
+  // 1-3 link outages; ~1 in 4 stays down forever. A permanent outage may
+  // partition the mesh — then unreachable traffic must leave through the
+  // accounted drop bucket for the run to drain.
+  const int outages = static_cast<int>(1 + rng.below(3));
+  for (int i = 0; i < outages; ++i) {
+    NodeId node;
+    Dir dir;
+    randLink(&node, &dir);
+    const Cycle at = 1 + rng.below(window);
+    if (rng.chance(0.25))
+      plan.add({at, fault::FaultKind::LinkDown, node, dir, 0, 1});
+    else
+      plan.linkOutage(at, node, dir, randDuration(20, 300));
+  }
+  // 0-2 port stalls, always released: a permanent stall would turn the
+  // drain-to-quiescence property into a false failure.
+  const int stalls = static_cast<int>(rng.below(3));
+  for (int i = 0; i < stalls; ++i) {
+    NodeId node;
+    Dir dir;
+    randLink(&node, &dir);
+    plan.portStall(1 + rng.below(window), node, dir, randDuration(10, 200));
+  }
+  // 0-1 injection freezes, always thawed (queued packets inject after).
+  if (rng.chance(0.5)) {
+    const NodeId node = static_cast<NodeId>(
+        rng.below(static_cast<std::uint64_t>(mesh.numNodes())));
+    plan.injectFreeze(1 + rng.below(window), node, randDuration(10, 200));
+  }
+  // 0-2 single-credit losses, adaptive VCs only: destroying escape credits
+  // would void Duato's liveness argument, and the resulting stuck packet
+  // is a watchdog report about the plan, not about the network.
+  const int losses = static_cast<int>(rng.below(3));
+  for (int i = 0; i < losses; ++i) {
+    NodeId node;
+    Dir dir;
+    randLink(&node, &dir);
+    const int cls =
+        static_cast<int>(rng.below(static_cast<std::uint64_t>(c.numClasses)));
+    const int vc =
+        cls * c.vcsPerClass + 1 +
+        static_cast<int>(
+            rng.below(static_cast<std::uint64_t>(c.vcsPerClass - 1)));
+    plan.creditLoss(1 + rng.below(window), node, dir, vc, 1);
+  }
+  return plan;
+}
+
 std::vector<SchemeSpec> defaultFuzzSchemes() {
   return {schemeRoRr(), schemeRaRair()};
 }
@@ -334,7 +442,8 @@ FuzzSummary runFuzz(const FuzzOptions& opts, const FuzzProgress& progress) {
   for (int i = 0; i < opts.scenarios; ++i) {
     const std::uint64_t caseSeed =
         splitMix64(opts.seed + static_cast<std::uint64_t>(i));
-    const FuzzCase c = generateCase(caseSeed);
+    FuzzCase c = generateCase(caseSeed);
+    if (opts.faultPlan) c.faults = generateFaultPlan(caseSeed, c);
     for (const auto& scheme : schemes) {
       FuzzCaseResult res = runCase(c, scheme, opts, caseSeed);
       ++sum.casesRun;
@@ -360,7 +469,8 @@ std::vector<FuzzCaseResult> runFuzzSeed(std::uint64_t caseSeed,
                                         const FuzzOptions& opts) {
   const std::vector<SchemeSpec> schemes =
       opts.schemes.empty() ? defaultFuzzSchemes() : opts.schemes;
-  const FuzzCase c = generateCase(caseSeed);
+  FuzzCase c = generateCase(caseSeed);
+  if (opts.faultPlan) c.faults = generateFaultPlan(caseSeed, c);
   std::vector<FuzzCaseResult> out;
   for (const auto& scheme : schemes) {
     FuzzCaseResult res = runCase(c, scheme, opts, caseSeed);

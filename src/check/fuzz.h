@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "check/oracle.h"
+#include "fault/plan.h"
 #include "sim/scheme.h"
 #include "traffic/generator.h"
 
@@ -46,6 +47,10 @@ struct FuzzCase {
   double adversarialRate = 0.0;
   std::vector<AppTrafficSpec> apps;
   std::uint64_t simSeed = 1;  ///< seed of the traffic RNGs
+  /// Fault plan applied during the run (empty = fault-free). Filled by the
+  /// harness in fault-plan mode; part of the case so the shrinker can
+  /// reduce the fault dimension independently.
+  fault::FaultPlan faults;
 
   /// One-line parameter summary for failure reports.
   std::string describe() const;
@@ -54,6 +59,13 @@ struct FuzzCase {
 /// Deterministically expands `caseSeed` into a case; the whole scenario is
 /// reproducible from this one value.
 FuzzCase generateCase(std::uint64_t caseSeed);
+
+/// Deterministically derives a random fault plan for `c` from the same
+/// case seed: link outages (some permanent, possibly partitioning), paired
+/// port stalls and injection freezes (always released, so the network can
+/// drain), and small credit losses on adaptive VCs (escape VCs keep Duato's
+/// liveness argument intact).
+fault::FaultPlan generateFaultPlan(std::uint64_t caseSeed, const FuzzCase& c);
 
 struct FuzzOptions {
   std::uint64_t seed = 1;  ///< base seed; case i uses splitmix(seed, i)
@@ -72,6 +84,12 @@ struct FuzzOptions {
   /// Self-test: inject one fault per case — alternating (by case seed)
   /// between dropping a credit and corrupting a metrics counter cell.
   bool injectFault = false;
+  /// Attach a random fault plan (generateFaultPlan) to every case and run
+  /// it under a fault-aware oracle. Unlike injectFault (deliberate
+  /// corruption the oracle must catch), fault-plan runs must stay
+  /// violation-free: faults degrade the network, never corrupt it, and
+  /// every undelivered packet must land in the droppedByFault bucket.
+  bool faultPlan = false;
   bool shrink = true;        ///< shrink failing cases (off in fault mode)
   /// Run every case on the sharded cycle engine with this many threads
   /// (SimConfig::shardThreads); 0 = single-threaded. Outcomes are
@@ -89,6 +107,8 @@ struct FuzzCaseResult {
   /// (dropped credit) or "counter" (corrupted metrics counter cell).
   std::string faultKind;
   OracleReport report;
+  /// Fault-plan mode: packets removed into the accounted drop bucket.
+  std::uint64_t droppedByFault = 0;
   FuzzCase shrunk;  ///< smallest still-failing variant (== original params
                     ///< when shrinking is off or never reduced)
   bool wasShrunk = false;

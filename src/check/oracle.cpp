@@ -150,8 +150,13 @@ void NetworkOracle::structuralScan(Cycle now) {
   const int tv = net_->layout().totalVcs();
   const std::size_t stride = static_cast<std::size_t>(kNumPorts * tv);
   const std::size_t total = static_cast<std::size_t>(numNodes) * stride;
+  // A fault-layer topology mutation this cycle rewired VC states
+  // out-of-band (purge + reroute-reset), so the one-state-per-cycle
+  // transition and ownership-stability checks do not apply across it.
+  const bool faultMutated =
+      faults_ != nullptr && faults_->lastTopologyChange() == now;
   const bool checkTransitions = havePrev_ && now == prevCycle_ + 1 &&
-                                prevState_.size() == total;
+                                prevState_.size() == total && !faultMutated;
   if (prevState_.size() != total) {
     prevState_.assign(total, 0);
     prevOwner_.assign(total, -1);
@@ -463,6 +468,8 @@ void NetworkOracle::creditEquations(Cycle now, NodeId n) {
                 creditsInPipe(out->creditPipe(), vc);
       if (downstream != nullptr)
         sum += static_cast<int>(downstream->inVc(downPort, vc).buf.size());
+      if (faults_ != nullptr)
+        sum += static_cast<int>(faults_->lostCredits(n, port, vc));
       if (sum != depth)
         violation(now, fmt("router %d out port %d vc %d: credit conservation "
                            "broken (credits + in-flight + downstream = %d, "

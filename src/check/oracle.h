@@ -43,6 +43,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "fault/plan.h"
 #include "packet/pool.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -125,6 +126,14 @@ class NetworkOracle final : public SimObserver {
   /// Forces a full scan now regardless of cadence (tests).
   void scanNow(Cycle now);
 
+  /// Makes the oracle fault-aware: credits deliberately destroyed by
+  /// CreditLoss events enter the credit-conservation equations, and the
+  /// one-state-per-cycle transition/ownership checks are suppressed on the
+  /// exact cycle a topology mutation (purge/reroute) rewired VCs
+  /// out-of-band. Every other invariant keeps running unmodified — faults
+  /// must degrade the network, never corrupt it. Pass nullptr to detach.
+  void attachFaults(const fault::FaultView* faults) { faults_ = faults; }
+
  private:
   struct SeqWindow {
     std::uint16_t minSeq = 0;
@@ -150,6 +159,7 @@ class NetworkOracle final : public SimObserver {
   const PacketPool* ledger_;
   OracleOptions opt_;
   OracleReport report_;
+  const fault::FaultView* faults_ = nullptr;
 
   // Census scratch + persistent per-packet seq windows (pruned at
   // delivery and lazily when a packet is no longer live).

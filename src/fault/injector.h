@@ -1,0 +1,127 @@
+// FaultInjector: applies a FaultPlan to a running simulation.
+//
+// The injector is a SimObserver whose onCycleBegin applies every event
+// scheduled at or before the current cycle — always inside the
+// single-threaded observer window, so the same mutations happen at the
+// same points under any shard-thread count. Event application is the only
+// place simulation state is mutated out-of-band; the warm loop itself
+// stays allocation-free and fault-unaware.
+//
+// Topology events (link down/up) trigger the "reconfiguration flush":
+//
+//   1. recompute the DegradedTopology tables (components, BFS distances,
+//      spanning-tree escape routes);
+//   2. doom the packets that cannot or must not continue:
+//        a. any packet with a flit inside a dead link's flit pipe,
+//        b. any packet whose input VC is committed (Active) toward a dead
+//           output port,
+//        c. any live packet whose destination is unreachable from its
+//           current location on the degraded graph,
+//        d. any packet holding an escape output-VC allocation on a
+//           non-Local port — pre-change escape commitments follow the old
+//           spanning tree; flushing them means every escape->escape
+//           dependency alive after the event follows the one new tree,
+//           which is acyclic, so Duato's argument keeps holding across
+//           reconfigurations (ejecting escape holders drain to the NIC
+//           sink unconditionally and are spared);
+//   3. purge every flit of every doomed packet from buffers, link pipes,
+//      NIC streams and source queues, refunding each removed flit to the
+//      upstream credit counter so the oracle's per-link credit equation
+//      (credits + in flight + downstream buffer + deliberately-lost ==
+//      depth) closes without any dead-link special case;
+//   4. release doomed packets into the accounted droppedByFault bucket
+//      (Simulator::faultDropPacket, ascending id order — the packet
+//      pool's free list is order-dependent and snapshot-serialized);
+//   5. reset every surviving WaitingVa input VC to Routing so its route
+//      is recomputed against the new tables (counted as a reroute), and
+//      rebuild the routers' incremental aggregates from scratch.
+//
+// The oracle is told about out-of-band mutation through the FaultView
+// interface (lastTopologyChange suppresses the one-state-per-cycle
+// transition check on exactly the mutated cycle; lostCredits enters the
+// credit equations). Everything else it checks keeps holding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/plan.h"
+#include "routing/degraded.h"
+#include "sim/simulator.h"
+
+namespace rair::fault {
+
+/// Applies a FaultPlan to one Simulator. Construct, then attach(); the
+/// injector must outlive the simulation run. With an empty plan attached
+/// the run is byte-identical to one without an injector (golden-tested).
+class FaultInjector final : public SimObserver,
+                            public Simulator::FaultHook,
+                            public FaultView {
+ public:
+  FaultInjector(Simulator& sim, FaultPlan plan);
+  ~FaultInjector() override;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Registers with the simulator: observer list, fault hook, degraded
+  /// routing tables. Idempotent-free: call exactly once.
+  void attach();
+  /// Unregisters everything attach() registered (also run by the dtor).
+  void detach();
+
+  const FaultPlan& plan() const { return plan_; }
+  const DegradedTopology& degraded() const { return degraded_; }
+
+  /// Degradation totals so far. Drop counts are read from the simulator's
+  /// droppedByFault bucket (which also counts unreachable-at-creation
+  /// drops the hook gate makes).
+  FaultStats stats() const;
+
+  // SimObserver:
+  void onCycleBegin(Cycle now) override;
+
+  // Simulator::FaultHook:
+  bool deliverable(NodeId src, NodeId dst) const override {
+    return !degraded_.active() || degraded_.reachable(src, dst);
+  }
+  bool snapshotRelevant() const override { return !plan_.empty(); }
+  void save(snapshot::Writer& w) const override;
+  void restore(snapshot::Reader& r) override;
+
+  // FaultView:
+  Cycle lastTopologyChange() const override { return lastTopoChange_; }
+  std::uint64_t lostCredits(NodeId node, int port, int vc) const override {
+    return lost_[lostIndex(node, port, vc)];
+  }
+
+ private:
+  void applyEvent(const FaultEvent& e, bool& topoChanged);
+  /// The reconfiguration flush (steps 2-5 of the header comment).
+  void applyTopologyChange(Cycle now);
+
+  std::size_t lostIndex(NodeId node, int port, int vc) const;
+
+  Simulator* sim_;
+  Network* net_;
+  FaultPlan plan_;
+  DegradedTopology degraded_;
+  bool attached_ = false;
+
+  std::size_t cursor_ = 0;  ///< first plan event not yet applied
+  Cycle lastTopoChange_ = kNeverCycle;
+  Cycle outageStart_ = kNeverCycle;  ///< first cycle of the current outage
+
+  /// Credits deliberately destroyed, per (node, out port, vc) — the
+  /// oracle adds these to its conservation equations.
+  std::vector<std::uint64_t> lost_;
+
+  // FaultStats pieces maintained here (drops live on the simulator).
+  std::uint64_t eventsApplied_ = 0;
+  std::uint64_t reroutes_ = 0;
+  std::uint64_t unreachablePairs_ = 0;
+  std::uint64_t degradedCycles_ = 0;
+  std::uint64_t recoveryCycles_ = 0;
+};
+
+}  // namespace rair::fault

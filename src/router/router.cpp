@@ -126,6 +126,7 @@ void Router::beginCycle(Cycle now) {
                            "empty VC must be idle");
             ivc.state = VcState::Routing;
             ivc.ready = now + 1;  // BW stage: RC may run next cycle
+            ivc.pktId = f.pkt;
             ++pendingRc_;
             setStateBit(routingMask_, port, vcIdx, true);
           } else {
@@ -373,6 +374,7 @@ void Router::switchAllocateAndTraverse(Cycle now) {
       const InputVc& ivc = inVc(port, vc);
       RAIR_DCHECK(ivc.state == VcState::Active);
       if (ivc.ready > now || ivc.buf.empty()) continue;
+      if (stalledOutPorts_ & (1u << ivc.outPort)) continue;  // fault stall
       const OutputVc& ovc = outVc(ivc.outPort, ivc.outVc);
       if (ovc.credits <= 0) continue;  // no downstream buffer space
       const std::uint64_t prio = policy_->priority(
@@ -458,12 +460,14 @@ void Router::switchAllocateAndTraverse(Cycle now) {
       setStateBit(activeMask_, w.inPort, w.inVc, false);
       if (ivc.buf.empty()) {
         ivc.state = VcState::Idle;
+        ivc.pktId = 0;
       } else {
         // Non-atomic VC: the next queued packet surfaces; route it.
         RAIR_CHECK_MSG(!atomicVcs_ && isHead(ivc.buf.front().type),
                        "non-head flit surfaced behind a tail");
         ivc.state = VcState::Routing;
         ivc.ready = now + 1;
+        ivc.pktId = ivc.buf.front().pkt;
         ++pendingRc_;
         setStateBit(routingMask_, w.inPort, w.inVc, true);
       }
@@ -486,6 +490,7 @@ void Router::save(snapshot::Writer& w) const {
     w.i32(ivc.outVc);
     w.u64(ivc.ready);
     w.u8(ivc.occClass);
+    w.u64(ivc.pktId);
   }
   for (const OutputVc& ovc : outputs_) {
     w.i32(ovc.credits);
@@ -531,6 +536,7 @@ void Router::restore(snapshot::Reader& r) {
     ivc.outVc = r.i32();
     ivc.ready = r.u64();
     ivc.occClass = r.u8();
+    ivc.pktId = r.u64();
   }
   for (OutputVc& ovc : outputs_) {
     ovc.credits = r.i32();

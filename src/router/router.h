@@ -44,6 +44,10 @@ namespace check {
 class NetworkOracle;  // read-only auditor of router internals (src/check/)
 }
 
+namespace fault {
+class FaultInjector;  // fault-event application (src/fault/)
+}
+
 /// Cumulative per-router event counters (cheap; always collected). Useful
 /// for validating arbitration behaviour and for diagnosing DPA decisions.
 struct RouterCounters {
@@ -153,6 +157,7 @@ class Router {
 
  private:
   friend class check::NetworkOracle;
+  friend class fault::FaultInjector;
   struct InputVc {
     VcState state = VcState::Idle;
     RingQueue<Flit> buf;  ///< ring sized to vcDepth; allocation-free
@@ -163,6 +168,10 @@ class Router {
     /// Occupancy class of the buffered front flit, maintained
     /// incrementally: 0 = empty, 1 = native, 2 = foreign.
     std::uint8_t occClass = 0;
+    /// Id of the packet this VC is currently strung with (head arrived or
+    /// surfaced); 0 while Idle. Lets the fault layer doom a whole packet
+    /// from any one of its flits without scanning buffers.
+    PacketId pktId = 0;
   };
 
   struct OutputVc {
@@ -274,6 +283,12 @@ class Router {
   int pendingRc_ = 0;  ///< input VCs in Routing
   int pendingVa_ = 0;  ///< input VCs in WaitingVa
   int numActive_ = 0;  ///< input VCs in Active
+
+  /// Fault-injected SA gate: bit p set means no input VC may win switch
+  /// allocation toward output port p this cycle (a stalled crossbar
+  /// output). Maintained by the fault injector; not serialized — the
+  /// snapshot's fault section re-applies active stalls on restore.
+  std::uint32_t stalledOutPorts_ = 0;
 
   // Per-port bitmask of input VCs in each pipeline state (bit = VC index).
   // The RC/VA/SA scans walk set bits in ascending order — identical visit

@@ -1,0 +1,213 @@
+#include "routing/degraded.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace rair {
+
+namespace {
+
+// Deterministic neighbor enumeration order for every BFS in this file.
+constexpr Dir kScanOrder[4] = {Dir::North, Dir::East, Dir::South, Dir::West};
+
+}  // namespace
+
+DegradedTopology::DegradedTopology(const Mesh& mesh)
+    : mesh_(&mesh),
+      n_(mesh.numNodes()),
+      deadOut_(static_cast<std::size_t>(mesh.numNodes()) * 4, 0),
+      comp_(static_cast<std::size_t>(mesh.numNodes()), 0),
+      dist_(static_cast<std::size_t>(mesh.numNodes()) *
+                static_cast<std::size_t>(mesh.numNodes()),
+            0),
+      treeDir_(static_cast<std::size_t>(mesh.numNodes()) *
+                   static_cast<std::size_t>(mesh.numNodes()),
+               static_cast<std::uint8_t>(Dir::Local)) {
+  recompute();
+}
+
+void DegradedTopology::setLinkDead(NodeId n, Dir d, bool dead) {
+  RAIR_CHECK(mesh_->contains(n) && d != Dir::Local);
+  const auto nb = mesh_->neighbor(n, d);
+  RAIR_CHECK_MSG(nb.has_value(), "setLinkDead: no channel at mesh edge");
+  auto& fwd = deadOut_[static_cast<std::size_t>(n) * 4 +
+                       static_cast<std::size_t>(dirIndex(d))];
+  auto& rev = deadOut_[static_cast<std::size_t>(*nb) * 4 +
+                       static_cast<std::size_t>(dirIndex(opposite(d)))];
+  RAIR_DCHECK(fwd == rev);
+  const std::uint8_t v = dead ? 1 : 0;
+  if (fwd == v) return;
+  fwd = rev = v;
+  numDead_ += dead ? 1 : -1;
+  RAIR_DCHECK(numDead_ >= 0);
+}
+
+bool DegradedTopology::linkAlive(NodeId n, Dir d) const {
+  if (d == Dir::Local) return true;
+  if (!mesh_->neighbor(n, d).has_value()) return false;
+  return deadOut_[static_cast<std::size_t>(n) * 4 +
+                  static_cast<std::size_t>(dirIndex(d))] == 0;
+}
+
+std::uint8_t DegradedTopology::connectivityBits(NodeId n) const {
+  std::uint8_t bits = 0;
+  for (int i = 0; i < 4; ++i) {
+    const Dir d = static_cast<Dir>(i + 1);
+    if (linkAlive(n, d)) bits |= static_cast<std::uint8_t>(1u << i);
+  }
+  return bits;
+}
+
+void DegradedTopology::recompute() {
+  // Component labels: BFS from each unvisited node, lowest id first.
+  std::fill(comp_.begin(), comp_.end(), -1);
+  std::vector<NodeId> queue;
+  queue.reserve(static_cast<std::size_t>(n_));
+  int nextComp = 0;
+  for (NodeId root = 0; root < n_; ++root) {
+    if (comp_[static_cast<std::size_t>(root)] >= 0) continue;
+    const int label = nextComp++;
+    queue.clear();
+    queue.push_back(root);
+    comp_[static_cast<std::size_t>(root)] = label;
+    // `parent` of the component's BFS spanning tree: the direction from a
+    // node back toward its BFS parent (Local for the root).
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId cur = queue[head];
+      for (Dir d : kScanOrder) {
+        if (!linkAlive(cur, d)) continue;
+        const NodeId nb = *mesh_->neighbor(cur, d);
+        if (comp_[static_cast<std::size_t>(nb)] >= 0) continue;
+        comp_[static_cast<std::size_t>(nb)] = label;
+        queue.push_back(nb);
+      }
+    }
+  }
+
+  // Spanning tree per component (root = lowest node id, which is the BFS
+  // seed above). treeParent[node] = direction toward the BFS parent.
+  std::vector<std::uint8_t> treeParent(static_cast<std::size_t>(n_),
+                                       static_cast<std::uint8_t>(Dir::Local));
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(n_), 0);
+  for (NodeId root = 0; root < n_; ++root) {
+    if (seen[static_cast<std::size_t>(root)]) continue;
+    queue.clear();
+    queue.push_back(root);
+    seen[static_cast<std::size_t>(root)] = 1;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId cur = queue[head];
+      for (Dir d : kScanOrder) {
+        if (!linkAlive(cur, d)) continue;
+        const NodeId nb = *mesh_->neighbor(cur, d);
+        if (seen[static_cast<std::size_t>(nb)]) continue;
+        seen[static_cast<std::size_t>(nb)] = 1;
+        treeParent[static_cast<std::size_t>(nb)] =
+            static_cast<std::uint8_t>(opposite(d));
+        queue.push_back(nb);
+      }
+    }
+  }
+
+  // Tree adjacency: node -> alive dirs that are tree edges (either the
+  // node's parent edge or a child's parent edge seen from this side).
+  std::vector<std::uint8_t> treeAdj(static_cast<std::size_t>(n_), 0);
+  for (NodeId v = 0; v < n_; ++v) {
+    const Dir pd = static_cast<Dir>(treeParent[static_cast<std::size_t>(v)]);
+    if (pd == Dir::Local) continue;  // component root
+    const NodeId p = *mesh_->neighbor(v, pd);
+    treeAdj[static_cast<std::size_t>(v)] |=
+        static_cast<std::uint8_t>(1u << dirIndex(pd));
+    treeAdj[static_cast<std::size_t>(p)] |=
+        static_cast<std::uint8_t>(1u << dirIndex(opposite(pd)));
+  }
+
+  // Per-destination tables: graph distances (adaptive candidates) and the
+  // first hop of the unique tree path (escape candidates).
+  std::fill(dist_.begin(), dist_.end(), std::int16_t{-1});
+  std::fill(treeDir_.begin(), treeDir_.end(),
+            static_cast<std::uint8_t>(Dir::Local));
+  for (NodeId dst = 0; dst < n_; ++dst) {
+    // Graph BFS from dst.
+    queue.clear();
+    queue.push_back(dst);
+    dist_[at(dst, dst)] = 0;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId cur = queue[head];
+      const std::int16_t dc = dist_[at(dst, cur)];
+      for (Dir d : kScanOrder) {
+        if (!linkAlive(cur, d)) continue;
+        const NodeId nb = *mesh_->neighbor(cur, d);
+        if (dist_[at(dst, nb)] >= 0) continue;
+        dist_[at(dst, nb)] = static_cast<std::int16_t>(dc + 1);
+        queue.push_back(nb);
+      }
+    }
+    // Tree BFS from dst: the first edge out of `node` on the unique tree
+    // path to dst is the edge through which the BFS from dst reached it.
+    queue.clear();
+    queue.push_back(dst);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId cur = queue[head];
+      for (Dir d : kScanOrder) {
+        if (!(treeAdj[static_cast<std::size_t>(cur)] &
+              (1u << dirIndex(d))))
+          continue;
+        const NodeId nb = *mesh_->neighbor(cur, d);
+        if (nb == dst || treeDir_[at(dst, nb)] !=
+                             static_cast<std::uint8_t>(Dir::Local))
+          continue;
+        treeDir_[at(dst, nb)] = static_cast<std::uint8_t>(opposite(d));
+        queue.push_back(nb);
+      }
+    }
+  }
+}
+
+std::uint64_t DegradedTopology::unreachablePairs() const {
+  std::vector<std::uint64_t> sizes;
+  for (NodeId v = 0; v < n_; ++v) {
+    const auto label = static_cast<std::size_t>(comp_[v]);
+    if (label >= sizes.size()) sizes.resize(label + 1, 0);
+    ++sizes[label];
+  }
+  const auto total = static_cast<std::uint64_t>(n_);
+  std::uint64_t pairs = total * (total - 1);
+  for (const std::uint64_t s : sizes) pairs -= s * (s - 1);
+  return pairs;
+}
+
+int DegradedTopology::distance(NodeId from, NodeId to) const {
+  RAIR_DCHECK(mesh_->contains(from) && mesh_->contains(to));
+  return dist_[at(to, from)];
+}
+
+Dir DegradedTopology::escapeDir(NodeId here, NodeId dst) const {
+  RAIR_DCHECK(here != dst && reachable(here, dst));
+  const Dir d = static_cast<Dir>(treeDir_[at(dst, here)]);
+  RAIR_DCHECK(d != Dir::Local);
+  return d;
+}
+
+RouteResult DegradedTopology::routeFor(NodeId here, NodeId dst) const {
+  RouteResult r;
+  if (here == dst) {
+    r.ejecting = true;
+    return r;
+  }
+  RAIR_CHECK_MSG(reachable(here, dst),
+                 "degraded routeFor: destination unreachable");
+  const std::int16_t dh = dist_[at(dst, here)];
+  for (Dir d : kScanOrder) {
+    if (r.numAdaptive >= 2) break;
+    if (!linkAlive(here, d)) continue;
+    const NodeId nb = *mesh_->neighbor(here, d);
+    if (dist_[at(dst, nb)] == dh - 1)
+      r.adaptiveDirs[static_cast<std::size_t>(r.numAdaptive++)] = d;
+  }
+  RAIR_DCHECK(r.numAdaptive >= 1);
+  r.escapeDir = escapeDir(here, dst);
+  return r;
+}
+
+}  // namespace rair

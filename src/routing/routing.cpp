@@ -3,12 +3,15 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "routing/degraded.h"
 
 namespace rair {
 
 RouteResult RoutingAlgorithm::computeCandidates(const Mesh& mesh,
                                                 NodeId here,
                                                 const Flit& head) const {
+  if (degraded_ != nullptr && degraded_->active())
+    return degraded_->routeFor(here, head.dst);
   RouteResult r;
   if (head.dst == here) {
     r.ejecting = true;
@@ -27,9 +30,11 @@ RouteResult RoutingAlgorithm::computeCandidates(const Mesh& mesh,
 
 void XyRouting::orderBySelection(const Mesh&, const CongestionView&, NodeId,
                                  const Flit&, RouteResult& route) const {
-  // Deterministic: collapse to the single XY direction.
+  // Deterministic: collapse to the single preferred direction. Minimal RC
+  // lists the X direction first, so this is the XY path; under degraded
+  // routing adaptiveDirs[0] is the first distance-decreasing direction
+  // (the escape direction may not be a candidate there).
   if (route.ejecting || route.numAdaptive == 0) return;
-  route.adaptiveDirs[0] = route.escapeDir;
   route.numAdaptive = 1;
 }
 

@@ -85,6 +85,9 @@ class Network final : public CongestionView {
   const NetworkConfig& config() const { return config_; }
   const VcLayout& layout() const { return layout_; }
   const RoutingAlgorithm& routing() const { return *routing_; }
+  /// Mutable routing access for the fault layer (attaching/detaching the
+  /// degraded-topology tables). Never used on the cycle hot path.
+  RoutingAlgorithm& routingMut() { return *routing_; }
 
   /// Flits that traversed any switch in the last completed cycle.
   int flitsMovedLastCycle() const;

@@ -103,6 +103,7 @@ void Nic::tick(Cycle now) {
 
   // VC claims: round-robin over the per-(class, app) sub-queues so one
   // application's backlog cannot monopolize the claim opportunities.
+  if (injectFrozen_) return;  // fault freeze: no claims, no injection
   if (!queues_.empty()) {
     const std::size_t nq = queues_.size();
     for (std::size_t off = 0; off < nq; ++off) {

@@ -37,6 +37,10 @@ namespace check {
 class NetworkOracle;  // read-only auditor of NIC internals (src/check/)
 }
 
+namespace fault {
+class FaultInjector;  // fault-event application (src/fault/)
+}
+
 /// Receiver of NIC lifecycle events. A plain interface instead of
 /// per-event std::function hooks: one indirect call on the hot path, no
 /// type-erased closure storage.
@@ -82,6 +86,7 @@ class Nic {
 
  private:
   friend class check::NetworkOracle;
+  friend class fault::FaultInjector;
 
   struct Stream {
     Packet pkt;
@@ -115,6 +120,10 @@ class Nic {
   std::size_t rrNext_ = 0;       ///< round-robin over active_
   std::size_t rrQueue_ = 0;      ///< round-robin over queues_ for VC claims
   NicEvents* events_ = nullptr;
+  /// Fault-injected injection freeze: claims and injection stop, credits
+  /// and ejection continue. Maintained by the fault injector; not
+  /// serialized — the snapshot's fault section re-applies it on restore.
+  bool injectFrozen_ = false;
 };
 
 }  // namespace rair

@@ -55,6 +55,11 @@ AssembledScenario assembleScenario(const ScenarioSpec& spec) {
         *spec.mesh, static_cast<AppId>(spec.apps.size()),
         spec.adversarialRate, seed));
   }
+  if (!spec.faults.empty()) {
+    as.injector =
+        std::make_unique<fault::FaultInjector>(*as.sim, spec.faults);
+    as.injector->attach();
+  }
   return as;
 }
 
@@ -134,6 +139,7 @@ ScenarioResult runScenario(const ScenarioSpec& spec) {
   // observer, so results are bit-identical to the unarmed build.
   check::NetworkOracle oracle(sim.network(), sim.ledger(),
                               check::OracleOptions::armed());
+  if (as.injector) oracle.attachFaults(as.injector.get());
   sim.observers().attach(&oracle);
 #endif
   // The recorder is likewise a pure observer: results stay bit-identical
@@ -160,6 +166,7 @@ ScenarioResult runScenario(const ScenarioSpec& spec) {
     RAIR_CHECK_MSG(recorder->writeSinks(), "metrics sink write failed");
     out.metrics = recorder->summary();
   }
+  if (as.injector) out.faultStats = as.injector->stats();
   out.resumedFromCycle = resumedFrom;
   out.warmRestored = warmRestored;
   out.meanApl = out.run.stats.overallApl();

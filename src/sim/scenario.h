@@ -16,6 +16,8 @@
 #include <utility>
 #include <vector>
 
+#include "fault/injector.h"
+#include "fault/plan.h"
 #include "metrics/metrics.h"
 #include "region/region_map.h"
 #include "sim/scheme.h"
@@ -33,6 +35,10 @@ struct ScenarioResult {
   /// Aggregate instrumentation of the run (absent when the spec disabled
   /// metrics collection with MetricsLevel::Off).
   std::optional<metrics::MetricsSummary> metrics;
+
+  /// Degradation accounting of the fault plan (absent when the spec had no
+  /// faults): drops, reroutes, unreachable pairs, degraded/recovery cycles.
+  std::optional<fault::FaultStats> faultStats;
 
   /// Cycle the run resumed from via a checkpoint restore (0 when the run
   /// started from cycle zero). Volatile provenance, not a result — the
@@ -75,6 +81,9 @@ struct ScenarioSpec {
   metrics::MetricsOptions metrics;
   /// Snapshot behaviour: warm-state caching and/or mid-run checkpoints.
   snapshot::SnapshotOptions snap;
+  /// Timed fault events applied during the run (empty = fault-free). Part
+  /// of the scenario identity: the plan enters warm/full snapshot keys.
+  fault::FaultPlan faults;
 
   ScenarioSpec(const Mesh& m, const RegionMap& r) : mesh(&m), regions(&r) {}
 
@@ -139,6 +148,12 @@ struct ScenarioSpec {
     snap = s;
     return *this;
   }
+  /// Attaches a fault plan; the runner assembles and arms a FaultInjector
+  /// for it (and the oracle, when armed, becomes fault-aware).
+  ScenarioSpec& withFaults(fault::FaultPlan plan) {
+    faults = std::move(plan);
+    return *this;
+  }
   /// Enables end-of-warm-up state caching in `dir`.
   ScenarioSpec& withWarmCache(std::string dir) {
     snap.warmCacheDir = std::move(dir);
@@ -181,6 +196,10 @@ struct AssembledScenario {
   int numApps = 0;
   std::unique_ptr<ArbiterPolicy> policy;
   std::unique_ptr<Simulator> sim;
+  /// Present and attached when the spec carried a non-empty fault plan.
+  /// Declared after `sim` so its destructor (which detaches from the
+  /// simulator) runs first.
+  std::unique_ptr<fault::FaultInjector> injector;
 };
 
 AssembledScenario assembleScenario(const ScenarioSpec& spec);

@@ -47,12 +47,6 @@ void Simulator::setDeliveryHook(DeliveryHook hook) {
   if (deliveryHook_ && engine_ != nullptr) engine_.reset();
 }
 
-void Simulator::setDeliveryObserver(DeliveryObserver obs) {
-  observers_.detach(&deliveryShim_);
-  deliveryShim_.fn = std::move(obs);
-  if (deliveryShim_.fn) observers_.attach(&deliveryShim_);
-}
-
 void Simulator::SnapshotTripwire::onCycleBegin(Cycle now) {
   if (now == savePoint || (every != 0 && now != 0 && now % every == 0))
     hook(*sim, now);
@@ -85,8 +79,24 @@ PacketId Simulator::createPacket(NodeId src, NodeId dst, AppId app,
   stats_.onPacketCreated(p);
   ++created_;
   const PacketId id = p.id;
+  // Reachability gate: on a partitioned (degraded) topology a packet whose
+  // destination is unreachable is dropped at creation — after the create
+  // accounting, so RNG streams and the created census are unaffected.
+  if (faultHook_ != nullptr && !faultHook_->deliverable(src, dst)) {
+    faultDropPacket(id);
+    return id;
+  }
   net_->nic(src).enqueue(p);
   return id;
+}
+
+void Simulator::faultDropPacket(PacketId id) {
+  RAIR_CHECK_MSG(ledger_.isLive(id), "fault drop of unknown packet");
+  Packet p = ledger_.get(id);
+  ledger_.release(id);
+  stats_.onPacketDropped(p);
+  ++droppedByFault_;
+  droppedFlitsByFault_ += p.numFlits;
 }
 
 void Simulator::injectAt(Cycle when, NodeId src, NodeId dst, AppId app,
@@ -162,6 +172,8 @@ void Simulator::save(snapshot::Writer& w) const {
   w.u64(created_);
   w.u64(delivered_);
   w.u64(measuredFlitsDelivered_);
+  w.u64(droppedByFault_);
+  w.u64(droppedFlitsByFault_);
   w.u64(lastProgress_);
   w.u64(lastDelivered_);
   w.endSection();
@@ -196,6 +208,15 @@ void Simulator::save(snapshot::Writer& w) const {
   w.endSection();
 
   net_->save(w);
+
+  // Pending fault state rides as a trailing optional section: absent for
+  // fault-free simulations (including a hook with an empty plan), so their
+  // snapshot bytes are identical to a build with no hook attached.
+  if (faultHook_ != nullptr && faultHook_->snapshotRelevant()) {
+    w.beginSection("fault");
+    faultHook_->save(w);
+    w.endSection();
+  }
 }
 
 void Simulator::restore(snapshot::Reader& r) {
@@ -215,6 +236,8 @@ void Simulator::restore(snapshot::Reader& r) {
   created_ = r.u64();
   delivered_ = r.u64();
   measuredFlitsDelivered_ = r.u64();
+  droppedByFault_ = r.u64();
+  droppedFlitsByFault_ = r.u64();
   lastProgress_ = r.u64();
   lastDelivered_ = r.u64();
   r.endSection();
@@ -249,6 +272,17 @@ void Simulator::restore(snapshot::Reader& r) {
   r.endSection();
 
   net_->restore(r);
+
+  if (!r.atEnd()) {
+    RAIR_CHECK_MSG(faultHook_ != nullptr,
+                   "snapshot carries fault state but no fault hook is set");
+    r.beginSection("fault");
+    faultHook_->restore(r);
+    r.endSection();
+  } else {
+    RAIR_CHECK_MSG(faultHook_ == nullptr || !faultHook_->snapshotRelevant(),
+                   "fault hook expects a fault section the snapshot lacks");
+  }
 }
 
 RunResult Simulator::run() {

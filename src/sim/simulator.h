@@ -145,6 +145,24 @@ struct RunResult {
 
 class Simulator final : public InjectionSink, private NicEvents {
  public:
+  /// The fault subsystem's attachment surface beyond plain observation
+  /// (src/fault/ implements it; the simulator core stays fault-agnostic):
+  /// reachability gating of new packets, and an extra snapshot section for
+  /// pending fault state. All methods are unused while no hook is set, so
+  /// fault-free simulations carry zero overhead and identical bytes.
+  class FaultHook {
+   public:
+    virtual ~FaultHook() = default;
+    /// Whether a packet created now at `src` can ever reach `dst` on the
+    /// (possibly degraded) topology.
+    virtual bool deliverable(NodeId src, NodeId dst) const = 0;
+    /// Whether the hook currently holds state the snapshot must carry
+    /// (pending events, dead links, stalls, freezes, lost credits).
+    virtual bool snapshotRelevant() const = 0;
+    virtual void save(snapshot::Writer& w) const = 0;
+    virtual void restore(snapshot::Reader& r) = 0;
+  };
+
   /// @param numApps size of the per-app stats table; must cover every
   ///        AppId the sources use (which may exceed regions.numApps(),
   ///        e.g. the adversarial flooder of Fig. 17).
@@ -163,14 +181,6 @@ class Simulator final : public InjectionSink, private NicEvents {
   /// reproduce in the single-threaded event order.
   using DeliveryHook = std::function<void(const Packet&, InjectionSink&)>;
   void setDeliveryHook(DeliveryHook hook);
-
-  /// Superseded by SimObserver::onDelivery — implement the interface and
-  /// attach it via observers() instead. This shim wraps the function into
-  /// an internal observer occupying one ObserverSet slot.
-  using DeliveryObserver = std::function<void(const Packet&)>;
-  [[deprecated(
-      "implement SimObserver::onDelivery and attach via observers()")]]
-  void setDeliveryObserver(DeliveryObserver obs);
 
   /// Schedules a packet to be created at a future cycle (e.g. a reply
   /// after a cache-service latency).
@@ -207,6 +217,21 @@ class Simulator final : public InjectionSink, private NicEvents {
   /// order; when the set is empty the per-cycle cost is two empty loops.
   ObserverSet& observers() { return observers_; }
   const ObserverSet& observers() const { return observers_; }
+
+  /// Registers (or clears, with nullptr) the fault subsystem's hook. The
+  /// hook outlives the simulator's use of it; exactly one may be set.
+  void setFaultHook(FaultHook* hook) { faultHook_ = hook; }
+
+  /// Accounted removal of a live packet by the fault layer: releases the
+  /// ledger entry and moves the packet into the droppedByFault bucket so
+  /// conservation censuses (`created == delivered + dropped + in flight`)
+  /// keep closing. The caller must already have purged every flit of the
+  /// packet from the network.
+  void faultDropPacket(PacketId id);
+
+  /// Packets/flits removed by fault injection since construction.
+  std::uint64_t droppedByFault() const { return droppedByFault_; }
+  std::uint64_t droppedFlitsByFault() const { return droppedFlitsByFault_; }
 
   // --- Snapshot/restore ---------------------------------------------------
   /// Whether this simulation's complete state can be captured: every
@@ -245,13 +270,6 @@ class Simulator final : public InjectionSink, private NicEvents {
     Cycle every = 0;
   };
 
-  /// Wraps a deprecated std::function delivery observer (the shim behind
-  /// setDeliveryObserver).
-  struct FnDeliveryObserver final : SimObserver {
-    void onDelivery(const Packet& p) override { fn(p); }
-    DeliveryObserver fn;
-  };
-
   const Mesh* mesh_;
   SimConfig config_;
   std::unique_ptr<Network> net_;
@@ -259,7 +277,6 @@ class Simulator final : public InjectionSink, private NicEvents {
   std::vector<std::unique_ptr<TrafficSource>> sources_;
   StatsCollector stats_;
   DeliveryHook deliveryHook_;
-  FnDeliveryObserver deliveryShim_;
 
   PacketPool ledger_{4096};
   struct Deferred {
@@ -282,10 +299,13 @@ class Simulator final : public InjectionSink, private NicEvents {
   DeferredQueue deferred_;
 
   ObserverSet observers_;
+  FaultHook* faultHook_ = nullptr;
   Cycle now_ = 0;
   std::uint64_t created_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t measuredFlitsDelivered_ = 0;
+  std::uint64_t droppedByFault_ = 0;
+  std::uint64_t droppedFlitsByFault_ = 0;
 
   // Progress-tripwire bookkeeping. Members (not run() locals) so they are
   // part of the snapshot: a restored run must fire the deadlock tripwire

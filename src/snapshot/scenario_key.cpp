@@ -57,6 +57,10 @@ void encodeWarmPrefix(Writer& w, const ScenarioSpec& spec) {
   }
   w.f64(spec.adversarialRate);
   w.u64(spec.seed);
+
+  // Fault plan (state version 2): events can fire during warm-up, so two
+  // specs share warm state only when their full plans match.
+  spec.faults.encode(w);
 }
 
 }  // namespace

@@ -28,6 +28,12 @@ void StatsCollector::onPacketDelivered(const Packet& p) {
   s.hops.record(static_cast<double>(p.hops));
 }
 
+void StatsCollector::onPacketDropped(const Packet& p) {
+  RAIR_CHECK(p.app >= 0 && static_cast<size_t>(p.app) < perApp_.size());
+  ++perApp_[static_cast<size_t>(p.app)].packetsDropped;
+  if (inMeasurementWindow(p.createCycle)) ++measuredDropped_;
+}
+
 AppStats StatsCollector::overall() const {
   AppStats agg;
   for (const auto& s : perApp_) {
@@ -37,6 +43,7 @@ AppStats StatsCollector::overall() const {
     agg.packetsCreated += s.packetsCreated;
     agg.packetsDelivered += s.packetsDelivered;
     agg.flitsDelivered += s.flitsDelivered;
+    agg.packetsDropped += s.packetsDropped;
   }
   return agg;
 }
@@ -50,11 +57,13 @@ void StatsCollector::save(snapshot::Writer& w) const {
     w.u64(s.packetsCreated);
     w.u64(s.packetsDelivered);
     w.u64(s.flitsDelivered);
+    w.u64(s.packetsDropped);
   }
   w.u64(measureStart_);
   w.u64(measureEnd_);
   w.u64(measuredCreated_);
   w.u64(measuredDelivered_);
+  w.u64(measuredDropped_);
 }
 
 void StatsCollector::restore(snapshot::Reader& r) {
@@ -67,11 +76,13 @@ void StatsCollector::restore(snapshot::Reader& r) {
     s.packetsCreated = r.u64();
     s.packetsDelivered = r.u64();
     s.flitsDelivered = r.u64();
+    s.packetsDropped = r.u64();
   }
   measureStart_ = r.u64();
   measureEnd_ = r.u64();
   measuredCreated_ = r.u64();
   measuredDelivered_ = r.u64();
+  measuredDropped_ = r.u64();
 }
 
 double StatsCollector::overallApl() const {

@@ -38,6 +38,7 @@ struct AppStats {
   std::uint64_t packetsCreated = 0;
   std::uint64_t packetsDelivered = 0;
   std::uint64_t flitsDelivered = 0;
+  std::uint64_t packetsDropped = 0;  ///< removed by fault injection
 };
 
 /// Collects statistics for a simulation run.
@@ -58,11 +59,14 @@ class StatsCollector {
 
   void onPacketCreated(const Packet& p);
   void onPacketDelivered(const Packet& p);
+  /// Fault injection removed `p` (never delivered). Dropped packets leave
+  /// the measured set so the drain phase still terminates.
+  void onPacketDropped(const Packet& p);
 
   /// Number of measured packets still in flight (created in window, not
-  /// yet delivered). Drain completes when this reaches zero.
+  /// yet delivered or dropped). Drain completes when this reaches zero.
   std::uint64_t measuredInFlight() const {
-    return measuredCreated_ - measuredDelivered_;
+    return measuredCreated_ - measuredDelivered_ - measuredDropped_;
   }
 
   const AppStats& app(AppId a) const {
@@ -91,6 +95,7 @@ class StatsCollector {
   Cycle measureEnd_ = kNeverCycle;
   std::uint64_t measuredCreated_ = 0;
   std::uint64_t measuredDelivered_ = 0;
+  std::uint64_t measuredDropped_ = 0;
 };
 
 }  // namespace rair

@@ -153,6 +153,44 @@ TEST(CellRecord, MetricsBlockRoundTripsAndStaysOptional) {
   EXPECT_EQ(parsed->toJsonLine(), line);
 }
 
+TEST(CellRecord, FaultBlockRoundTripsAndStaysOptional) {
+  CellRecord rec;
+  rec.campaign = "unit";
+  rec.key = "RA_RAIR/outage";
+  rec.seed = 42;
+  rec.cyclesRun = 1'000;
+  rec.appApl = {10.0};
+  // Fault-free cells must not grow a fault block -- record byte identity
+  // with pre-fault-subsystem campaigns depends on this.
+  EXPECT_EQ(rec.toJsonLine().find("\"fault\""), std::string::npos);
+  const auto plain = CellRecord::fromJsonLine(rec.toJsonLine());
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_FALSE(plain->fault.has_value());
+
+  fault::FaultStats fs;
+  fs.eventsApplied = 4;
+  fs.droppedPackets = 1'000'000'000'001ull;  // > 2^32: must survive JSON
+  fs.droppedFlits = 55;
+  fs.reroutes = 12;
+  fs.unreachablePairs = 30;
+  fs.degradedCycles = 2'000;
+  fs.recoveryCycles = 3'000;
+  rec.fault = fs;
+  const std::string line = rec.toJsonLine();
+  EXPECT_NE(line.find("\"fault\""), std::string::npos);
+  const auto parsed = CellRecord::fromJsonLine(line);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->fault.has_value());
+  EXPECT_EQ(parsed->fault->eventsApplied, fs.eventsApplied);
+  EXPECT_EQ(parsed->fault->droppedPackets, fs.droppedPackets);
+  EXPECT_EQ(parsed->fault->droppedFlits, fs.droppedFlits);
+  EXPECT_EQ(parsed->fault->reroutes, fs.reroutes);
+  EXPECT_EQ(parsed->fault->unreachablePairs, fs.unreachablePairs);
+  EXPECT_EQ(parsed->fault->degradedCycles, fs.degradedCycles);
+  EXPECT_EQ(parsed->fault->recoveryCycles, fs.recoveryCycles);
+  EXPECT_EQ(parsed->toJsonLine(), line);
+}
+
 TEST(CellRecord, ReductionAgainstEmptyBaselineIsZeroNotNan) {
   CellRecord base, mine;
   base.appApl = {0.0, 40.0};

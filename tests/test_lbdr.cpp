@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "routing/degraded.h"
+
 namespace rair {
 namespace {
 
@@ -62,6 +64,71 @@ TEST(Lbdr, UnassignedNodesDoNotSatisfyConstraint) {
   AppSpec a0{0, {5, 6, 9, 10}};  // interior block, no corners
   const RegionMap rm(m, {a0});
   EXPECT_FALSE(lbdrMappingValid(rm, m.cornerNodes()));
+}
+
+// ---- Degraded connectivity ------------------------------------------------
+
+TEST(Lbdr, ConnectivityBitsTrackDeadLinksOnBothEndpoints) {
+  Mesh m(4, 4);
+  DegradedTopology topo(m);
+  // Interior node: all four links alive. Corner (0,0): East + South only.
+  EXPECT_EQ(topo.connectivityBits(m.nodeAt({1, 1})), 0b1111);
+  EXPECT_EQ(topo.connectivityBits(m.nodeAt({0, 0})), 0b0110);
+  // Killing (1,1)'s east channel clears the East bit there and the West
+  // bit on the far endpoint — the undirected channel fails as one.
+  topo.setLinkDead(m.nodeAt({1, 1}), Dir::East, true);
+  topo.recompute();
+  EXPECT_EQ(topo.connectivityBits(m.nodeAt({1, 1})), 0b1101);
+  EXPECT_EQ(topo.connectivityBits(m.nodeAt({2, 1})), 0b0111);
+  // Restoring the link restores both bits.
+  topo.setLinkDead(m.nodeAt({1, 1}), Dir::East, false);
+  topo.recompute();
+  EXPECT_FALSE(topo.active());
+  EXPECT_EQ(topo.connectivityBits(m.nodeAt({1, 1})), 0b1111);
+  EXPECT_EQ(topo.connectivityBits(m.nodeAt({2, 1})), 0b1111);
+}
+
+TEST(Lbdr, ValidMappingDoesNotImplyMcReachabilityUnderFaults) {
+  Mesh m(4, 4);
+  const auto quads = RegionMap::quadrants(m);
+  const auto mcs = m.cornerNodes();
+  ASSERT_TRUE(lbdrMappingValid(quads, mcs));
+
+  // Isolate corner 0 — region 0's only MC.
+  DegradedTopology topo(m);
+  for (int d = 1; d < kNumPorts; ++d)
+    if (m.neighbor(0, static_cast<Dir>(d)))
+      topo.setLinkDead(0, static_cast<Dir>(d), true);
+  topo.recompute();
+  EXPECT_EQ(topo.connectivityBits(0), 0);
+
+  // The mapping check is a static placement property and still passes;
+  // reachability under faults is the fault layer's concern, which is why
+  // unreachable traffic drains through the accounted drop bucket instead
+  // of asserting inside LBDR.
+  EXPECT_TRUE(lbdrMappingValid(quads, mcs));
+  for (NodeId n = 1; n < m.numNodes(); ++n)
+    EXPECT_FALSE(topo.reachable(n, 0)) << "node " << n;
+  EXPECT_EQ(topo.unreachablePairs(), 2u * 15u);
+}
+
+TEST(Lbdr, LegalPacketMayBecomeUnreachableUnderDegradation) {
+  Mesh m(8, 8);
+  const auto rm = RegionMap::halves(m);
+  const NodeId src = m.nodeAt({0, 0});
+  const NodeId dst = m.nodeAt({3, 7});
+  ASSERT_TRUE(lbdrPacketAllowed(rm, src, dst));
+
+  DegradedTopology topo(m);
+  for (int d = 1; d < kNumPorts; ++d)
+    if (m.neighbor(dst, static_cast<Dir>(d)))
+      topo.setLinkDead(dst, static_cast<Dir>(d), true);
+  topo.recompute();
+
+  // Static legality is unchanged; the degraded graph decides delivery.
+  EXPECT_TRUE(lbdrPacketAllowed(rm, src, dst));
+  EXPECT_FALSE(topo.reachable(src, dst));
+  EXPECT_EQ(topo.distance(src, dst), -1);
 }
 
 }  // namespace

@@ -123,30 +123,6 @@ TEST(ObserverSet, SimulatorDispatchesAllThreeCallbacks) {
   EXPECT_EQ(counter.begins, 500);
 }
 
-TEST(ObserverSet, DeprecatedDeliveryObserverShimStillFires) {
-  Mesh mesh(8, 8);
-  const RegionMap regions = RegionMap::halves(mesh);
-  AssembledScenario as = assembleScenario(smallSpec(mesh, regions));
-
-  int fired = 0;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  as.sim->setDeliveryObserver([&](const Packet&) { ++fired; });
-#pragma GCC diagnostic pop
-  as.sim->begin();
-  for (int i = 0; i < 500; ++i) as.sim->stepCycle();
-  EXPECT_GT(fired, 0);
-
-  // A null function detaches the shim.
-  const int seen = fired;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  as.sim->setDeliveryObserver(nullptr);
-#pragma GCC diagnostic pop
-  for (int i = 0; i < 100; ++i) as.sim->stepCycle();
-  EXPECT_EQ(fired, seen);
-}
-
 TEST(ObserverSet, DeliveryHookRevertsShardedSimulatorToLegacyStepping) {
   Mesh mesh(8, 8);
   const RegionMap regions = RegionMap::halves(mesh);

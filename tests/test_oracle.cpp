@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 #include <string>
 
 #include "check/fuzz.h"
@@ -202,6 +203,83 @@ TEST(FuzzHarness, InjectedFaultsAreCaught) {
   // kinds must have been exercised.
   EXPECT_GT(creditFaults, 0);
   EXPECT_GT(counterFaults, 0);
+}
+
+TEST(Oracle, SummaryFormatsSingleMultipleAndTruncatedReports) {
+  check::OracleReport rep;
+  EXPECT_EQ(rep.summary(), "ok");
+  rep.violations.push_back({12, "flit conservation broke"});
+  EXPECT_EQ(rep.summary(), "cycle 12: flit conservation broke");
+  rep.violations.push_back({15, "credit conservation broke"});
+  rep.violations.push_back({16, "starvation"});
+  EXPECT_NE(rep.summary().find("cycle 12: flit conservation broke"),
+            std::string::npos);
+  EXPECT_NE(rep.summary().find("(+2 more)"), std::string::npos);
+  rep.truncated = true;
+  EXPECT_NE(rep.summary().find("(+2 more, truncated)"), std::string::npos);
+}
+
+TEST(FuzzHarness, SchemeMatricesCoverTheLineup) {
+  const auto dflt = check::defaultFuzzSchemes();
+  ASSERT_EQ(dflt.size(), 2u);
+  const auto wide = check::allFuzzSchemes();
+  ASSERT_EQ(wide.size(), 5u);
+  std::set<std::string> labels;
+  for (const auto& s : wide) labels.insert(s.label);
+  // XY-routed RO_RR shares the RO_RR label; the other four are distinct.
+  EXPECT_GE(labels.size(), 4u);
+}
+
+TEST(FuzzHarness, FaultPlanAppearsInCaseDescription) {
+  // Generated plans always contain at least one link outage, so the
+  // describe() line must advertise the fault dimension of the case.
+  const std::uint64_t cs = 0x77ull;
+  check::FuzzCase c = check::generateCase(cs);
+  EXPECT_EQ(c.describe().find("faults"), std::string::npos);
+  c.faults = check::generateFaultPlan(cs, c);
+  ASSERT_FALSE(c.faults.empty());
+  EXPECT_NE(c.describe().find("faults"), std::string::npos);
+}
+
+TEST(FuzzHarness, ShrinkerReducesUndrainedFailingCase) {
+  // A zero drain budget makes every saturated case fail (traffic cannot
+  // drain by the hard stop), which drives the shrinker down its whole
+  // reduction ladder: with every candidate still failing, the fault plan
+  // is removed first, then cycles halve and the geometry collapses.
+  check::FuzzOptions opts;
+  opts.scenarios = 2;
+  opts.seed = 77;  // cases cover adversarial/classes/latency/regions/faults
+  opts.faultPlan = true;
+  opts.shrink = true;
+  opts.drainBudget = 0;
+  opts.schemes = {schemeRoRr()};
+  const check::FuzzSummary sum = check::runFuzz(opts);
+  EXPECT_EQ(sum.casesRun, 2);
+  EXPECT_EQ(sum.failures, 2);
+  ASSERT_EQ(sum.failed.size(), 2u);
+  for (const auto& res : sum.failed) {
+    EXPECT_FALSE(res.drained);
+    EXPECT_TRUE(res.wasShrunk) << res.shrunk.describe();
+    // The fault-free variant still fails, so the plan must be gone and
+    // the minimal repro collapsed to one region at unit link latency.
+    EXPECT_TRUE(res.shrunk.faults.empty());
+    EXPECT_EQ(res.shrunk.regionsX * res.shrunk.regionsY, 1);
+    EXPECT_EQ(res.shrunk.linkLatency, 1u);
+    EXPECT_EQ(res.shrunk.adversarialRate, 0.0);
+    EXPECT_GE(res.shrunk.sourceCycles, 100u);
+  }
+}
+
+TEST(FuzzHarness, ReproPathShrinksFailingCaseToo) {
+  check::FuzzOptions opts;
+  opts.faultPlan = true;
+  opts.shrink = true;
+  opts.drainBudget = 0;
+  opts.schemes = {schemeRoRr()};
+  const auto results = check::runFuzzSeed(0xF00Dull, opts);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].failed());
+  EXPECT_TRUE(results[0].wasShrunk) << results[0].shrunk.describe();
 }
 
 TEST(FuzzHarness, ReproPathReproducesCleanRun) {

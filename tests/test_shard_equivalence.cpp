@@ -174,6 +174,88 @@ TEST(ShardState, SerializedStateMatchesLegacyByteForByte16x16) {
   }
 }
 
+// ---- Delivery hooks under the sharded engine ------------------------------
+
+/// Records the exact onDelivery callback sequence. The staged NIC replay
+/// (shard.h) promises observer callback order identical to the
+/// single-threaded engine, which this pins directly — the golden tests
+/// above only see the aggregated statistics.
+struct DeliveryRecorder final : SimObserver {
+  std::vector<std::pair<PacketId, Cycle>> seq;
+  Cycle now = 0;
+  void onCycleBegin(Cycle n) override { now = n; }
+  void onDelivery(const Packet& p) override { seq.emplace_back(p.id, now); }
+};
+
+TEST(ShardObserver, DeliveryHookSequenceIdenticalAcrossThreadCounts) {
+  Mesh mesh(8, 8);
+  const RegionMap regions = RegionMap::halves(mesh);
+  const ScenarioSpec spec =
+      fig09Spec(mesh, regions, 0.5, schemeRaRair(), 17911839290282890590ull);
+
+  auto sequence = [&](int threads) {
+    AssembledScenario as =
+        assembleScenario(ScenarioSpec(spec).withThreads(threads));
+    DeliveryRecorder rec;
+    as.sim->observers().attach(&rec);
+    as.sim->begin();
+    while (as.sim->now() < 3000) as.sim->stepCycle();
+    return rec.seq;
+  };
+
+  const auto legacy = sequence(0);
+  ASSERT_FALSE(legacy.empty());
+  for (const int threads : {1, 2, 8})
+    EXPECT_TRUE(legacy == sequence(threads)) << "threads=" << threads;
+}
+
+TEST(ShardFallback, DeliveryHookRevertsToSingleThreadedStepping) {
+  // setDeliveryHook on a sharded simulator drops the shard engine (hooks
+  // create packets mid-delivery, which staged replay cannot reproduce in
+  // event order) — the run must silently fall back and still hit the
+  // golden trajectory.
+  Mesh mesh(8, 8);
+  const RegionMap regions = RegionMap::halves(mesh);
+  const ScenarioSpec spec =
+      fig09Spec(mesh, regions, 0.0, schemeRoRr(), 10451216379200822465ull);
+
+  auto runWithHook = [&](int threads) {
+    AssembledScenario as =
+        assembleScenario(ScenarioSpec(spec).withThreads(threads));
+    std::uint64_t hookCalls = 0;
+    as.sim->setDeliveryHook(
+        [&hookCalls](const Packet&, InjectionSink&) { ++hookCalls; });
+    const RunResult r = as.sim->run();
+    return std::pair<RunResult, std::uint64_t>(r, hookCalls);
+  };
+
+  const auto [legacy, legacyCalls] = runWithHook(0);
+  EXPECT_EQ(legacy.packetsDelivered, 85224u);
+  const auto [sharded, shardedCalls] = runWithHook(8);
+  EXPECT_EQ(sharded.termination, legacy.termination);
+  EXPECT_EQ(sharded.cyclesRun, legacy.cyclesRun);
+  EXPECT_EQ(sharded.packetsCreated, legacy.packetsCreated);
+  EXPECT_EQ(sharded.packetsDelivered, legacy.packetsDelivered);
+  EXPECT_EQ(shardedCalls, legacyCalls);
+}
+
+// ---- Oversubscribed fallback: more shards than nodes ----------------------
+
+TEST(ShardFallback, MoreShardsThanNodesMatchesLegacyByteForByte) {
+  // 4x4 mesh, 16 nodes, 24 shard threads: the remainder distribution
+  // hands shards 16..23 empty node ranges, which must degrade to no-op
+  // workers rather than skew the partition.
+  Mesh mesh(4, 4);
+  const RegionMap regions = RegionMap::halves(mesh);
+  const ScenarioSpec spec =
+      fig09Spec(mesh, regions, 0.5, schemeRaRair(), 8042142155559163816ull);
+  const auto legacy = serializedAfter(spec, 1000);
+  const auto sharded =
+      serializedAfter(ScenarioSpec(spec).withThreads(24), 1000);
+  EXPECT_TRUE(legacy == sharded)
+      << snapshot::firstDifferingSection(legacy, sharded);
+}
+
 // ---- Campaign records across --shard-threads x --jobs ---------------------
 
 std::vector<std::string> canonicalLines(

@@ -9,14 +9,17 @@
 // schema and resume semantics.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "campaign/builtin.h"
 #include "campaign/runner.h"
 #include "campaign/store.h"
+#include "fault/plan.h"
 #include "metrics/metrics.h"
 
 namespace {
@@ -60,7 +63,14 @@ void usage(std::FILE* to) {
       "                run each cell's simulation on the deterministic\n"
       "                sharded cycle engine with N threads (composes with\n"
       "                --jobs; records are byte-identical to\n"
-      "                single-threaded runs; default 0 = off)\n");
+      "                single-threaded runs; default 0 = off)\n"
+      "  --faults FILE\n"
+      "                attach the fault plan in FILE (text format, see\n"
+      "                tools/rair_fault --help) to every cell that does\n"
+      "                not define its own; cell records gain a \"fault\"\n"
+      "                block. Changes results -- use a dedicated --out.\n"
+      "                The built-in \"faults\" campaign runs a canned\n"
+      "                resilience sweep without this flag.\n");
 }
 
 struct Args {
@@ -68,6 +78,7 @@ struct Args {
   std::string out;
   std::string warmCache;
   std::string checkpointDir;
+  std::string faultsFile;
   rair::metrics::MetricsOptions metrics;
   rair::Cycle checkpointEvery = 25'000;
   int jobs = 0;
@@ -140,6 +151,10 @@ bool parseArgs(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.checkpointDir = v;
+    } else if (arg == "--faults") {
+      const char* v = next();
+      if (!v) return false;
+      args.faultsFile = v;
     } else if (arg == "--checkpoint-every") {
       const char* v = next();
       if (!v) return false;
@@ -211,6 +226,22 @@ int main(int argc, char** argv) {
   }();
 
   RunnerOptions opts;
+  if (!args.faultsFile.empty()) {
+    std::ifstream in(args.faultsFile);
+    if (!in) {
+      std::fprintf(stderr, "cannot read fault plan '%s'\n",
+                   args.faultsFile.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string err;
+    if (!rair::fault::FaultPlan::parse(text.str(), opts.faults, &err)) {
+      std::fprintf(stderr, "bad fault plan '%s': %s\n",
+                   args.faultsFile.c_str(), err.c_str());
+      return 2;
+    }
+  }
   opts.jobs = args.jobs;
   opts.outPath = args.out;
   opts.resume = true;

@@ -1,0 +1,284 @@
+// rair_fault: replay a fault plan and report per-region degradation
+// against the fault-free twin of the same scenario.
+//
+//   rair_fault --plan outage.fp
+//   rair_fault --plan outage.fp --scheme RA_RAIR --threads 4 --check
+//   rair_fault --example > outage.fp
+//
+// The workload is the paper's canonical two-app halves scenario (Fig. 8):
+// app 0 low-load with fraction p inter-region, app 1 high-load
+// intra-regional, rates calibrated against the half-mesh saturation knee.
+// Both runs share the seed and windows, so every reported delta is caused
+// by the plan alone.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/builtin.h"
+#include "check/oracle.h"
+#include "fault/plan.h"
+#include "region/region_map.h"
+#include "scenarios/paper_scenarios.h"
+#include "sim/saturation.h"
+#include "sim/scenario.h"
+#include "sim/scheme.h"
+
+namespace {
+
+using namespace rair;
+
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: rair_fault --plan FILE [options]\n"
+      "       rair_fault --example\n"
+      "\n"
+      "Replays the fault plan on the canonical 8x8 two-app workload and\n"
+      "reports per-region degradation vs a fault-free twin run.\n"
+      "\n"
+      "options:\n"
+      "  --plan FILE   fault plan, text format (one event per line):\n"
+      "                  @<cycle> down|up|stall|unstall <node> <N|E|S|W>\n"
+      "                  @<cycle> creditloss <node> <N|E|S|W> <vc> <count>\n"
+      "                  @<cycle> freeze|thaw <node>\n"
+      "                blank lines and #-comments are ignored; <node> is a\n"
+      "                row-major id (y*width + x)\n"
+      "  --example     print a commented example plan and exit\n"
+      "  --scheme S    RO_RR (default), RO_Rank, RA_DBAR, RA_RAIR, RAIR_VA\n"
+      "  --p N         inter-region percent of app 0's traffic (default 50)\n"
+      "  --seed N      simulation seed (default 1)\n"
+      "  --fast        5x-shrunk windows (= RAIR_BENCH_FAST=1)\n"
+      "  --threads N   sharded cycle engine with N threads (default 0 =\n"
+      "                single-threaded; results are byte-identical)\n"
+      "  --check       additionally replay under the fault-aware network\n"
+      "                oracle and report any invariant violations\n");
+}
+
+int printExample() {
+  std::printf(
+      "# rair_fault example plan (8x8 mesh, node id = y*8 + x).\n"
+      "# Cycles are absolute; the paper windows measure 10000..110000,\n"
+      "# --fast windows 2000..22000.\n"
+      "\n"
+      "# 3000-cycle outage of the east link of node (3,3):\n"
+      "@5000 down 27 E\n"
+      "@8000 up 27 E\n"
+      "\n"
+      "# Stall the south out-port of node (5,2) for 1000 cycles:\n"
+      "@6000 stall 21 S\n"
+      "@7000 unstall 21 S\n"
+      "\n"
+      "# Destroy one credit of adaptive VC 1 on (5,5)'s west port:\n"
+      "@6500 creditloss 45 W 1 1\n"
+      "\n"
+      "# Freeze injection at node (4,4) for 500 cycles:\n"
+      "@7000 freeze 36\n"
+      "@7500 thaw 36\n");
+  return 0;
+}
+
+struct Args {
+  std::string planFile;
+  std::string schemeName = "RO_RR";
+  int p = 50;
+  std::uint64_t seed = 1;
+  int threads = 0;
+  bool fast = false;
+  bool check = false;
+};
+
+bool parseArgs(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      std::exit(0);
+    } else if (arg == "--example") {
+      std::exit(printExample());
+    } else if (arg == "--fast") {
+      args.fast = true;
+    } else if (arg == "--check") {
+      args.check = true;
+    } else if (arg == "--plan") {
+      const char* v = next();
+      if (!v) return false;
+      args.planFile = v;
+    } else if (arg == "--scheme") {
+      const char* v = next();
+      if (!v) return false;
+      args.schemeName = v;
+    } else if (arg == "--p") {
+      const char* v = next();
+      if (!v) return false;
+      args.p = std::atoi(v);
+      if (args.p < 0 || args.p > 100) return false;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      args.threads = std::atoi(v);
+      if (args.threads < 0) return false;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !args.planFile.empty();
+}
+
+bool findScheme(const std::string& name, SchemeSpec& out) {
+  const std::vector<SchemeSpec> lineup = {
+      schemeRoRr(), schemeRoRank(), schemeRaDbar(), schemeRaRair(),
+      schemeRairVaOnly()};
+  for (const SchemeSpec& s : lineup)
+    if (s.label == name) {
+      out = s;
+      return true;
+    }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parseArgs(argc, argv, args)) {
+    usage(stderr);
+    return 2;
+  }
+  if (std::getenv("RAIR_BENCH_FAST") != nullptr) args.fast = true;
+
+  SchemeSpec scheme;
+  if (!findScheme(args.schemeName, scheme)) {
+    std::fprintf(stderr, "unknown scheme '%s'\n", args.schemeName.c_str());
+    return 2;
+  }
+
+  std::ifstream in(args.planFile);
+  if (!in) {
+    std::fprintf(stderr, "cannot read fault plan '%s'\n",
+                 args.planFile.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  fault::FaultPlan plan;
+  std::string err;
+  if (!fault::FaultPlan::parse(text.str(), plan, &err)) {
+    std::fprintf(stderr, "bad fault plan '%s': %s\n", args.planFile.c_str(),
+                 err.c_str());
+    return 2;
+  }
+  if (plan.empty()) {
+    std::fprintf(stderr, "fault plan '%s' has no events\n",
+                 args.planFile.c_str());
+    return 2;
+  }
+  std::printf("plan (%zu events):\n%s\n", plan.events().size(),
+              plan.format().c_str());
+
+  const Mesh mesh(8, 8);
+  const RegionMap regions = RegionMap::halves(mesh);
+
+  // Calibrate the half-mesh saturation knee (the campaign's shared
+  // "halves/halfSat" scalar) so the twin runs at the paper's operating
+  // point: app 0 at 10% of saturation, app 1 at the stable high load.
+  std::fprintf(stderr, "rair_fault: calibrating half-mesh saturation...\n");
+  AppTrafficSpec shape;
+  shape.app = 0;
+  const double sat = appSaturationRate(mesh, regions, shape,
+                                       campaign::paperSatOptions(args.fast));
+  const auto apps = scenarios::twoAppInterRegion(
+      args.p / 100.0, scenarios::kLowLoadFraction * sat,
+      scenarios::kHighLoadFraction * sat);
+
+  auto baseSpec = [&] {
+    return ScenarioSpec(mesh, regions)
+        .withConfig(campaign::paperSimConfig(args.fast))
+        .withScheme(scheme)
+        .withApps(apps)
+        .withSeed(args.seed)
+        .withThreads(args.threads);
+  };
+
+  std::fprintf(stderr, "rair_fault: running fault-free twin...\n");
+  const ScenarioResult twin = runScenario(baseSpec());
+  std::fprintf(stderr, "rair_fault: replaying plan...\n");
+  const ScenarioResult faulted = runScenario(baseSpec().withFaults(plan));
+
+  auto line = [](const char* tag, const ScenarioResult& r) {
+    std::printf("%-10s %-9s cycles %-8llu created %-7llu delivered %-7llu "
+                "mean APL %.2f\n",
+                tag, terminationName(r.run.termination),
+                static_cast<unsigned long long>(r.run.cyclesRun),
+                static_cast<unsigned long long>(r.run.packetsCreated),
+                static_cast<unsigned long long>(r.run.packetsDelivered),
+                r.meanApl);
+  };
+  std::printf("scheme %s, p=%d, seed %llu, %s windows\n\n",
+              scheme.label.c_str(), args.p,
+              static_cast<unsigned long long>(args.seed),
+              args.fast ? "fast" : "paper");
+  line("twin", twin);
+  line("faulted", faulted);
+
+  std::printf("\nper-region degradation (APL vs twin):\n");
+  for (std::size_t a = 0; a < faulted.appApl.size(); ++a) {
+    const double base = a < twin.appApl.size() ? twin.appApl[a] : 0.0;
+    const double delta =
+        base > 0.0 ? (faulted.appApl[a] / base - 1.0) * 100.0 : 0.0;
+    std::printf("  region %zu (app %zu): %8.2f -> %8.2f  (%+.1f%%)\n", a, a,
+                base, faulted.appApl[a], delta);
+  }
+
+  if (faulted.faultStats) {
+    const fault::FaultStats& fs = *faulted.faultStats;
+    std::printf("\nfault accounting: %llu events applied, %llu packets / "
+                "%llu flits dropped, %llu reroutes,\n"
+                "  %llu unreachable pairs (worst), %llu degraded cycles, "
+                "%llu recovery cycles\n",
+                static_cast<unsigned long long>(fs.eventsApplied),
+                static_cast<unsigned long long>(fs.droppedPackets),
+                static_cast<unsigned long long>(fs.droppedFlits),
+                static_cast<unsigned long long>(fs.reroutes),
+                static_cast<unsigned long long>(fs.unreachablePairs),
+                static_cast<unsigned long long>(fs.degradedCycles),
+                static_cast<unsigned long long>(fs.recoveryCycles));
+  }
+
+  bool ok = faulted.run.termination == Termination::Drained;
+  if (args.check) {
+    std::fprintf(stderr, "rair_fault: replaying under the oracle...\n");
+    AssembledScenario as = assembleScenario(baseSpec().withFaults(plan));
+    check::OracleOptions oo;
+    oo.period = 1;
+    oo.deadlockPeriod = 64;
+    oo.maxInNetworkAge = 20'000;
+    oo.failFast = false;
+    check::NetworkOracle oracle(as.sim->network(), as.sim->ledger(), oo);
+    if (as.injector) oracle.attachFaults(as.injector.get());
+    as.sim->observers().attach(&oracle);
+    const RunResult run = as.sim->run();
+    oracle.finish(run.cyclesRun);
+    const check::OracleReport report = oracle.report();
+    std::printf("\noracle: %s (%llu scans, %llu deadlock scans)\n",
+                report.summary().c_str(),
+                static_cast<unsigned long long>(report.scans),
+                static_cast<unsigned long long>(report.deadlockScans));
+    ok = ok && report.ok();
+  }
+
+  if (faulted.run.termination != Termination::Drained)
+    std::printf("\nWARNING: faulted run did not drain (%s)\n",
+                terminationName(faulted.run.termination));
+  return ok ? 0 : 1;
+}

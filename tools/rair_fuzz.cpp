@@ -41,6 +41,12 @@ void usage(std::FILE* to) {
       "                       alternating between dropping a credit and\n"
       "                       corrupting a metrics counter cell -- and\n"
       "                       require the oracle to catch every one\n"
+      "  --fault-plan         attach a seed-derived random fault plan to\n"
+      "                       every case (link outages incl. permanent,\n"
+      "                       port stalls, injection freezes, credit loss)\n"
+      "                       and require zero violations: faults must\n"
+      "                       degrade, never corrupt, with every\n"
+      "                       undelivered packet accounted as dropped\n"
       "  --repro SEED         replay one case seed (decimal or 0x hex)\n"
       "  --no-shrink          report failures without shrinking\n"
       "  --shard-threads N    run every case on the sharded cycle engine\n"
@@ -68,6 +74,8 @@ bool parseArgs(int argc, char** argv, Args& args) {
       std::exit(0);
     } else if (arg == "--inject-fault") {
       args.opts.injectFault = true;
+    } else if (arg == "--fault-plan") {
+      args.opts.faultPlan = true;
     } else if (arg == "--no-shrink") {
       args.opts.shrink = false;
     } else if (arg == "--quiet") {
@@ -134,14 +142,22 @@ bool parseArgs(int argc, char** argv, Args& args) {
   return true;
 }
 
-void printFailure(const rair::check::FuzzCaseResult& res) {
+void printFailure(const rair::check::FuzzCaseResult& res, bool faultPlan) {
+  rair::check::FuzzCase c = rair::check::generateCase(res.caseSeed);
+  if (faultPlan)
+    c.faults = rair::check::generateFaultPlan(res.caseSeed, c);
   std::fprintf(stderr,
                "\nFAIL seed 0x%016" PRIX64 " scheme %s%s\n  case: %s\n",
                res.caseSeed, res.scheme.c_str(),
-               res.drained ? "" : " (did not drain)",
-               rair::check::generateCase(res.caseSeed).describe().c_str());
-  if (res.wasShrunk)
+               res.drained ? "" : " (did not drain)", c.describe().c_str());
+  if (faultPlan && !c.faults.empty())
+    std::fprintf(stderr, "  plan:\n%s", c.faults.format().c_str());
+  if (res.wasShrunk) {
     std::fprintf(stderr, "  shrunk: %s\n", res.shrunk.describe().c_str());
+    if (!res.shrunk.faults.empty())
+      std::fprintf(stderr, "  shrunk plan:\n%s",
+                   res.shrunk.faults.format().c_str());
+  }
   for (const auto& v : res.report.violations)
     std::fprintf(stderr, "  cycle %llu: %s\n",
                  static_cast<unsigned long long>(v.cycle), v.what.c_str());
@@ -163,15 +179,19 @@ int main(int argc, char** argv) {
   }
 
   if (args.repro) {
-    const FuzzCase c = generateCase(args.reproSeed);
+    FuzzCase c = generateCase(args.reproSeed);
+    if (args.opts.faultPlan)
+      c.faults = generateFaultPlan(args.reproSeed, c);
     std::printf("case 0x%016" PRIX64 ": %s\n", args.reproSeed,
                 c.describe().c_str());
+    if (!c.faults.empty())
+      std::printf("plan:\n%s", c.faults.format().c_str());
     const auto results = runFuzzSeed(args.reproSeed, args.opts);
     bool anyFail = false;
     for (const auto& res : results) {
       if (res.failed()) {
         anyFail = true;
-        printFailure(res);
+        printFailure(res, args.opts.faultPlan);
       } else {
         std::printf("  %s: ok (%llu scans, %llu deadlock scans%s)\n",
                     res.scheme.c_str(),
@@ -182,6 +202,9 @@ int main(int argc, char** argv) {
                                ? ", counter fault injected"
                                : ", credit fault injected")
                         : "");
+        if (args.opts.faultPlan)
+          std::printf("    dropped by fault: %llu packets\n",
+                      static_cast<unsigned long long>(res.droppedByFault));
       }
     }
     return anyFail ? 1 : 0;
@@ -189,7 +212,9 @@ int main(int argc, char** argv) {
 
   int creditFaults = 0;
   int counterFaults = 0;
+  unsigned long long droppedTotal = 0;
   const FuzzProgress progress = [&](int index, const FuzzCaseResult& res) {
+    droppedTotal += res.droppedByFault;
     if (res.faultInjected) {
       if (res.faultKind == "counter")
         ++counterFaults;
@@ -226,11 +251,15 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("fuzz: %d runs (%d scenarios x %zu schemes), %d failures\n",
-              sum.casesRun, args.opts.scenarios,
+  std::printf("fuzz%s: %d runs (%d scenarios x %zu schemes), %d failures",
+              args.opts.faultPlan ? " (fault plans)" : "", sum.casesRun,
+              args.opts.scenarios,
               args.opts.schemes.empty() ? defaultFuzzSchemes().size()
                                         : args.opts.schemes.size(),
               sum.failures);
-  for (const auto& res : sum.failed) printFailure(res);
+  if (args.opts.faultPlan)
+    std::printf(", %llu packets dropped by faults", droppedTotal);
+  std::printf("\n");
+  for (const auto& res : sum.failed) printFailure(res, args.opts.faultPlan);
   return sum.failures > 0 ? 1 : 0;
 }
