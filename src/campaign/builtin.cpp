@@ -1,5 +1,6 @@
 #include "campaign/builtin.h"
 
+#include <algorithm>
 #include <array>
 #include <cstdarg>
 #include <cstdio>
@@ -8,6 +9,7 @@
 
 #include "common/assert.h"
 #include "fault/plan.h"
+#include "fault/random_plan.h"
 #include "scenarios/paper_scenarios.h"
 #include "stats/report.h"
 #include "traffic/pattern.h"
@@ -569,6 +571,14 @@ const std::vector<std::string>& faultScenarioNames() {
   return names;
 }
 
+/// The canned scenario set, adjusted for the link layer: outages and
+/// partitions only exist on ideal links (retx has no purge semantics), and
+/// corruption bursts only exist on retx links.
+std::vector<std::string> faultScenarioNamesFor(LinkLayerKind kind) {
+  if (kind == LinkLayerKind::Ideal) return faultScenarioNames();
+  return {"none", "corrupt", "stall", "freeze", "creditloss"};
+}
+
 /// Canonical plan of each fault scenario on the 8x8 fixture, timed
 /// relative to the configured windows so fast and paper runs stress the
 /// same fraction of the measurement interval.
@@ -593,6 +603,12 @@ fault::FaultPlan faultScenarioPlan(const std::string& which, const Mesh& mesh,
     plan.injectFreeze(t0, mesh.nodeAt({4, 4}), dur);
   } else if (which == "creditloss") {
     plan.creditLoss(t0, mesh.nodeAt({5, 5}), Dir::West, 1, 1);
+  } else if (which == "corrupt") {
+    // Retx layer: three 8-flit corruption bursts spread across the
+    // measurement window, on busy center links.
+    plan.corruptFlits(t0, mesh.nodeAt({3, 3}), Dir::East, 8);
+    plan.corruptFlits(t0 + dur, mesh.nodeAt({4, 4}), Dir::West, 8);
+    plan.corruptFlits(t0 + 2 * dur, mesh.nodeAt({3, 4}), Dir::North, 8);
   } else {
     RAIR_CHECK_MSG(which == "none", "unknown fault scenario");
   }
@@ -608,8 +624,10 @@ CampaignSpec buildFaults(BuildContext& ctx) {
   spec.name = "faults";
   spec.campaignSeed = ctx.campaignSeed;
   const SimConfig cfg = ctx.sim;
+  const std::vector<std::string> scenarioNames =
+      faultScenarioNamesFor(cfg.net.linkLayer);
   for (const SchemeSpec& s : schemes) {
-    for (const std::string& which : faultScenarioNames()) {
+    for (const std::string& which : scenarioNames) {
       CampaignCell cell;
       cell.key = s.label + "/" + which;
       cell.labels = {{"scheme", s.label}, {"fault", which}};
@@ -630,15 +648,68 @@ CampaignSpec buildFaults(BuildContext& ctx) {
     }
   }
 
+  // Optional density axis (--fault-density): MTBF-style random plans at
+  // 0.5x / 1x / 2x the base rate. Gated behind ctx.faultDensity > 0 so the
+  // default campaign — and every record produced by it — is unchanged.
+  static constexpr std::array<double, 3> kDensityMults = {0.5, 1.0, 2.0};
+  std::vector<std::string> densityNames;
+  if (ctx.faultDensity > 0.0) {
+    for (std::size_t mi = 0; mi < kDensityMults.size(); ++mi) {
+      const double rate = ctx.faultDensity * kDensityMults[mi];
+      char name[32];
+      std::snprintf(name, sizeof name, "density%gx", kDensityMults[mi]);
+      densityNames.push_back(name);
+      // One event expected every mtbf cycles across the measurement
+      // window, at `rate` events per 1000 cycles.
+      const Cycle mtbf =
+          std::max<Cycle>(1, static_cast<Cycle>(1000.0 / rate + 0.5));
+      fault::RandomPlanOptions po;
+      po.meshW = fx.mesh->width();
+      po.meshH = fx.mesh->height();
+      po.numClasses = cfg.net.numClasses;
+      po.vcsPerClass = cfg.net.vcsPerClass;
+      po.windowBegin = cfg.warmupCycles + 1;
+      po.windowEnd = cfg.warmupCycles + cfg.measureCycles;
+      po.retxLayer = cfg.net.linkLayer == LinkLayerKind::Retx;
+      po.mtbf = mtbf;
+      po.allowPermanentOutage = false;
+      for (std::size_t si = 0; si < schemes.size(); ++si) {
+        const SchemeSpec& s = schemes[si];
+        CampaignCell cell;
+        cell.key = s.label + "/" + name;
+        cell.labels = {{"scheme", s.label}, {"fault", name}};
+        const auto mo = cellMetricsOptions(ctx.metrics, "faults", cell.key);
+        // Per-cell plan seed, decoupled from the run seed the runner
+        // hands each cell: the plan is scenario identity, not RNG state.
+        const fault::FaultPlan plan = fault::generateRandomPlan(
+            cellSeed(ctx.campaignSeed, 0xD0'000 + mi * 8 + si), po);
+        cell.run = [fx, cfg, s, sat, mo, plan](const CellContext& cc) {
+          ScenarioSpec ss =
+              ScenarioSpec(*fx.mesh, *fx.regions)
+                  .withConfig(cfg)
+                  .withScheme(s)
+                  .withApps(scenarios::twoAppInterRegion(
+                      0.5, scenarios::kLowLoadFraction * sat,
+                      scenarios::kHighLoadFraction * sat))
+                  .withMetrics(mo)
+                  .withFaults(plan);
+          return runScenario(cc.applyTo(ss));
+        };
+        spec.add(std::move(cell));
+      }
+    }
+  }
+
   std::vector<std::string> labels;
   for (const auto& s : schemes) labels.push_back(s.label);
-  spec.renderTables = [labels](const CellLookup& cells) {
+  spec.renderTables = [labels, scenarioNames,
+                       densityNames](const CellLookup& cells) {
     std::string out;
     appendf(out, "\n=== Fault-resilience sweep: per-scheme degradation vs "
                  "the fault-free twin (p=50 two-app workload) ===\n\n");
     TextTable t({"fault", "scheme", "mean APL", "dAPL vs none", "dropped",
                  "reroutes", "degraded cyc"});
-    for (const std::string& which : faultScenarioNames()) {
+    for (const std::string& which : scenarioNames) {
       for (const std::string& label : labels) {
         const CellRecord& base = cells.at(label + "/none");
         const CellRecord& r = cells.at(label + "/" + which);
@@ -656,6 +727,32 @@ CampaignSpec buildFaults(BuildContext& ctx) {
     }
     out += t.toString();
     out += "\n";
+    if (!densityNames.empty()) {
+      appendf(out, "--- Fault-density axis: MTBF-style random plans ---\n\n");
+      TextTable d({"density", "scheme", "mean APL", "dAPL vs none",
+                   "events", "dropped", "corrupted", "retx flits"});
+      for (const std::string& which : densityNames) {
+        for (const std::string& label : labels) {
+          const CellRecord& base = cells.at(label + "/none");
+          const CellRecord& r = cells.at(label + "/" + which);
+          const auto row = d.addRow();
+          d.set(row, 0, which);
+          d.set(row, 1, label);
+          d.setNum(row, 2, r.meanApl);
+          d.setPct(row, 3, -r.meanReductionVs(base));
+          d.set(row, 4,
+                std::to_string(r.fault ? r.fault->eventsApplied : 0));
+          d.set(row, 5,
+                std::to_string(r.fault ? r.fault->droppedPackets : 0));
+          d.set(row, 6,
+                std::to_string(r.fault ? r.fault->corruptedFlits : 0));
+          d.set(row, 7,
+                std::to_string(r.fault ? r.fault->retransmittedFlits : 0));
+        }
+      }
+      out += d.toString();
+      out += "\n";
+    }
     appendf(out, "Faulted cells must still terminate drained: interference "
                  "reduction may not cost resilience.\n");
     return out;

@@ -36,6 +36,15 @@ struct BuildContext {
   /// a non-empty outPrefix makes each cell write its sinks under
   /// "<outPrefix><campaign>_<key>." with '/' flattened to '_'.
   metrics::MetricsOptions metrics;
+  /// Fault-density axis of the `faults` campaign: base event rate in
+  /// faults per 1000 cycles of the measurement window. When > 0, the
+  /// campaign grows `<scheme>/density{0.5x,1x,2x}` cells whose plans are
+  /// MTBF-style seeded random draws (fault/random_plan.h) at the scaled
+  /// rate — transient events only, so every cell still drains. 0 (the
+  /// default) leaves the campaign exactly as before, so existing records
+  /// and goldens are unaffected. The event family follows sim.net.linkLayer
+  /// (outages on ideal links, corruption bursts on retx links).
+  double faultDensity = 0.0;
   /// Memoization hook for expensive calibration scalars: returns the
   /// cached value for `key` or computes, caches and returns `fn()`.
   std::function<double(const std::string&,

@@ -78,6 +78,8 @@ std::string CellRecord::toJsonLine(bool includeVolatile) const {
     f.set("unreachable_pairs", JsonValue(fault->unreachablePairs));
     f.set("degraded_cycles", JsonValue(fault->degradedCycles));
     f.set("recovery_cycles", JsonValue(fault->recoveryCycles));
+    f.set("corrupted_flits", JsonValue(fault->corruptedFlits));
+    f.set("retransmitted_flits", JsonValue(fault->retransmittedFlits));
     rec.set("fault", std::move(f));
   }
   if (includeVolatile) rec.set("wall_ms", JsonValue(wallMs));
@@ -146,6 +148,8 @@ std::optional<CellRecord> CellRecord::fromJson(const JsonValue& v) {
     fnum("unreachable_pairs", fs.unreachablePairs);
     fnum("degraded_cycles", fs.degradedCycles);
     fnum("recovery_cycles", fs.recoveryCycles);
+    fnum("corrupted_flits", fs.corruptedFlits);
+    fnum("retransmitted_flits", fs.retransmittedFlits);
     r.fault = fs;
   }
   return r;

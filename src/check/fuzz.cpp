@@ -8,6 +8,7 @@
 #include "common/assert.h"
 #include "common/rng.h"
 #include "fault/injector.h"
+#include "fault/random_plan.h"
 #include "metrics/recorder.h"
 #include "sim/simulator.h"
 #include "traffic/source.h"
@@ -81,6 +82,7 @@ FuzzCaseResult runCase(const FuzzCase& c, const SchemeSpec& scheme,
   cfg.net.vcDepth = c.vcDepth;
   cfg.net.atomicVcs = c.atomicVcs;
   cfg.net.linkLatency = c.linkLatency;
+  cfg.net.linkLayer = c.linkLayer;
   cfg.net.rairPartition = scheme.needsRairPartition();
   cfg.routing = scheme.routing;
   cfg.warmupCycles = 0;
@@ -178,6 +180,8 @@ FuzzCaseResult runCase(const FuzzCase& c, const SchemeSpec& scheme,
   oracle.finish(sim.now());
   res.report = oracle.report();
   res.droppedByFault = sim.droppedByFault();
+  res.corruptedFlits = sim.network().totalCorruptedFlits();
+  res.retransmittedFlits = sim.network().totalRetransmittedFlits();
   return res;
 }
 
@@ -294,6 +298,10 @@ std::string FuzzCase::describe() const {
                   static_cast<int>(a.msgClass));
     s += buf;
   }
+  if (linkLayer != LinkLayerKind::Ideal) {
+    std::snprintf(buf, sizeof buf, " link %s", linkLayerKindName(linkLayer));
+    s += buf;
+  }
   if (!faults.empty()) {
     std::snprintf(buf, sizeof buf, " faults %zu", faults.size());
     s += buf;
@@ -360,68 +368,20 @@ FuzzCase generateCase(std::uint64_t caseSeed) {
 
 fault::FaultPlan generateFaultPlan(std::uint64_t caseSeed,
                                    const FuzzCase& c) {
-  Xoshiro256StarStar rng(splitMix64(caseSeed ^ 0xFA017ull));
-  Mesh mesh(c.meshW, c.meshH);
-  fault::FaultPlan plan;
-  const Cycle window = c.sourceCycles;
-  const auto randDuration = [&](Cycle lo, Cycle hi) {
-    return lo + rng.below(hi - lo + 1);
-  };
-  const auto randLink = [&](NodeId* node, Dir* dir) {
-    while (true) {
-      *node = static_cast<NodeId>(
-          rng.below(static_cast<std::uint64_t>(mesh.numNodes())));
-      *dir = static_cast<Dir>(1 + rng.below(4));
-      if (mesh.neighbor(*node, *dir)) return;
-    }
-  };
-
-  // 1-3 link outages; ~1 in 4 stays down forever. A permanent outage may
-  // partition the mesh — then unreachable traffic must leave through the
-  // accounted drop bucket for the run to drain.
-  const int outages = static_cast<int>(1 + rng.below(3));
-  for (int i = 0; i < outages; ++i) {
-    NodeId node;
-    Dir dir;
-    randLink(&node, &dir);
-    const Cycle at = 1 + rng.below(window);
-    if (rng.chance(0.25))
-      plan.add({at, fault::FaultKind::LinkDown, node, dir, 0, 1});
-    else
-      plan.linkOutage(at, node, dir, randDuration(20, 300));
-  }
-  // 0-2 port stalls, always released: a permanent stall would turn the
-  // drain-to-quiescence property into a false failure.
-  const int stalls = static_cast<int>(rng.below(3));
-  for (int i = 0; i < stalls; ++i) {
-    NodeId node;
-    Dir dir;
-    randLink(&node, &dir);
-    plan.portStall(1 + rng.below(window), node, dir, randDuration(10, 200));
-  }
-  // 0-1 injection freezes, always thawed (queued packets inject after).
-  if (rng.chance(0.5)) {
-    const NodeId node = static_cast<NodeId>(
-        rng.below(static_cast<std::uint64_t>(mesh.numNodes())));
-    plan.injectFreeze(1 + rng.below(window), node, randDuration(10, 200));
-  }
-  // 0-2 single-credit losses, adaptive VCs only: destroying escape credits
-  // would void Duato's liveness argument, and the resulting stuck packet
-  // is a watchdog report about the plan, not about the network.
-  const int losses = static_cast<int>(rng.below(3));
-  for (int i = 0; i < losses; ++i) {
-    NodeId node;
-    Dir dir;
-    randLink(&node, &dir);
-    const int cls =
-        static_cast<int>(rng.below(static_cast<std::uint64_t>(c.numClasses)));
-    const int vc =
-        cls * c.vcsPerClass + 1 +
-        static_cast<int>(
-            rng.below(static_cast<std::uint64_t>(c.vcsPerClass - 1)));
-    plan.creditLoss(1 + rng.below(window), node, dir, vc, 1);
-  }
-  return plan;
+  // Thin wrapper over the shared generator: budget mode, the family
+  // chosen by the case's link layer. The derived seed is part of the
+  // repro contract -- a case seed regenerates its plan bit-exactly.
+  fault::RandomPlanOptions opts;
+  opts.meshW = c.meshW;
+  opts.meshH = c.meshH;
+  opts.numClasses = c.numClasses;
+  opts.vcsPerClass = c.vcsPerClass;
+  opts.windowBegin = 1;
+  opts.windowEnd = c.sourceCycles;
+  opts.retxLayer = c.linkLayer == LinkLayerKind::Retx;
+  opts.mtbf = 0;
+  opts.allowPermanentOutage = true;
+  return fault::generateRandomPlan(splitMix64(caseSeed ^ 0xFA017ull), opts);
 }
 
 std::vector<SchemeSpec> defaultFuzzSchemes() {
@@ -443,10 +403,13 @@ FuzzSummary runFuzz(const FuzzOptions& opts, const FuzzProgress& progress) {
     const std::uint64_t caseSeed =
         splitMix64(opts.seed + static_cast<std::uint64_t>(i));
     FuzzCase c = generateCase(caseSeed);
+    c.linkLayer = opts.linkLayer;
     if (opts.faultPlan) c.faults = generateFaultPlan(caseSeed, c);
     for (const auto& scheme : schemes) {
       FuzzCaseResult res = runCase(c, scheme, opts, caseSeed);
       ++sum.casesRun;
+      sum.corruptedTotal += res.corruptedFlits;
+      sum.retransmittedTotal += res.retransmittedFlits;
       if (opts.injectFault) {
         if (!res.faultInjected)
           ++sum.faultsSkipped;
@@ -470,6 +433,7 @@ std::vector<FuzzCaseResult> runFuzzSeed(std::uint64_t caseSeed,
   const std::vector<SchemeSpec> schemes =
       opts.schemes.empty() ? defaultFuzzSchemes() : opts.schemes;
   FuzzCase c = generateCase(caseSeed);
+  c.linkLayer = opts.linkLayer;
   if (opts.faultPlan) c.faults = generateFaultPlan(caseSeed, c);
   std::vector<FuzzCaseResult> out;
   for (const auto& scheme : schemes) {

@@ -25,6 +25,7 @@
 
 #include "check/oracle.h"
 #include "fault/plan.h"
+#include "link/link_layer.h"
 #include "sim/scheme.h"
 #include "traffic/generator.h"
 
@@ -43,6 +44,9 @@ struct FuzzCase {
   int vcDepth = 4;
   bool atomicVcs = true;
   Cycle linkLatency = 1;
+  /// Link layer every channel is built with. Retx cases pair with
+  /// corruption-burst fault plans (generateFaultPlan switches families).
+  LinkLayerKind linkLayer = LinkLayerKind::Ideal;
   Cycle sourceCycles = 600;  ///< injection window; sources gate off after
   double adversarialRate = 0.0;
   std::vector<AppTrafficSpec> apps;
@@ -61,10 +65,12 @@ struct FuzzCase {
 FuzzCase generateCase(std::uint64_t caseSeed);
 
 /// Deterministically derives a random fault plan for `c` from the same
-/// case seed: link outages (some permanent, possibly partitioning), paired
-/// port stalls and injection freezes (always released, so the network can
-/// drain), and small credit losses on adaptive VCs (escape VCs keep Duato's
-/// liveness argument intact).
+/// case seed. Ideal-link cases get link outages (some permanent, possibly
+/// partitioning), paired port stalls and injection freezes (always
+/// released, so the network can drain), and small credit losses on
+/// adaptive VCs (escape VCs keep Duato's liveness argument intact). Retx
+/// cases swap the outages for corruption bursts — every corrupt flit is
+/// recovered by retransmission, so the plans stay liveness-safe.
 fault::FaultPlan generateFaultPlan(std::uint64_t caseSeed, const FuzzCase& c);
 
 struct FuzzOptions {
@@ -96,6 +102,9 @@ struct FuzzOptions {
   /// byte-identical either way — fuzzing with threads > 1 exercises the
   /// engine's barriers under the oracle (and TSan in CI).
   int shardThreads = 0;
+  /// Link layer every generated case is built with (FuzzCase::linkLayer).
+  /// With Retx plus faultPlan, plans become corruption bursts.
+  LinkLayerKind linkLayer = LinkLayerKind::Ideal;
 };
 
 struct FuzzCaseResult {
@@ -109,6 +118,9 @@ struct FuzzCaseResult {
   OracleReport report;
   /// Fault-plan mode: packets removed into the accounted drop bucket.
   std::uint64_t droppedByFault = 0;
+  /// Retx-layer runs: link-layer fault totals at drain (0 on ideal links).
+  std::uint64_t corruptedFlits = 0;
+  std::uint64_t retransmittedFlits = 0;
   FuzzCase shrunk;  ///< smallest still-failing variant (== original params
                     ///< when shrinking is off or never reduced)
   bool wasShrunk = false;
@@ -127,6 +139,11 @@ struct FuzzSummary {
   int faultsMissed = 0;
   /// Fault-mode only: cases where no credit could be dropped (idle net).
   int faultsSkipped = 0;
+  /// Retx-layer runs: totals over all executions. Deterministic — a
+  /// fixed (seed, scenarios, schemes) sweep reproduces these exactly,
+  /// under any shard-thread count.
+  std::uint64_t corruptedTotal = 0;
+  std::uint64_t retransmittedTotal = 0;
   std::vector<FuzzCaseResult> failed;  ///< capped at 32 entries
 };
 

@@ -50,20 +50,6 @@ bool legalTransition(VcState a, VcState b) {
   return false;
 }
 
-int flitsInPipe(const DelayPipe<FlitMsg>& p, int vc) {
-  int n = 0;
-  for (std::size_t i = 0; i < p.size(); ++i)
-    if (p.entry(i).second.vc == vc) ++n;
-  return n;
-}
-
-int creditsInPipe(const DelayPipe<CreditMsg>& p, int vc) {
-  int n = 0;
-  for (std::size_t i = 0; i < p.size(); ++i)
-    if (p.entry(i).second.vc == vc) ++n;
-  return n;
-}
-
 }  // namespace
 
 std::string OracleReport::summary() const {
@@ -446,7 +432,7 @@ void NetworkOracle::creditEquations(Cycle now, NodeId n) {
   // router's output links (router-router and ejection), plus the injection
   // link whose upstream side is this node's NIC.
   for (int port = 0; port < kNumPorts; ++port) {
-    const Link* out = r.outLinks_[static_cast<std::size_t>(port)];
+    const LinkLayer* out = r.outLinks_[static_cast<std::size_t>(port)];
     if (out == nullptr) continue;
     const Dir d = static_cast<Dir>(port);
     const Router* downstream = nullptr;
@@ -463,9 +449,12 @@ void NetworkOracle::creditEquations(Cycle now, NodeId n) {
       downPort = portIdx(opposite(d));
     }
     for (int vc = 0; vc < tv; ++vc) {
-      int sum = r.outVc(port, vc).credits +
-                flitsInPipe(out->flitPipe(), vc) +
-                creditsInPipe(out->creditPipe(), vc);
+      // The link-layer views close the equation for both implementations:
+      // a retransmission link counts its unaccepted replay residents as
+      // in-flight (wire copies are ghosts; delivered-but-unACKed entries
+      // already sit in the downstream buffer counted below).
+      int sum = r.outVc(port, vc).credits + out->inFlightFlits(vc) +
+                out->inFlightCredits(vc);
       if (downstream != nullptr)
         sum += static_cast<int>(downstream->inVc(downPort, vc).buf.size());
       if (faults_ != nullptr)
@@ -478,13 +467,13 @@ void NetworkOracle::creditEquations(Cycle now, NodeId n) {
     }
   }
 
-  const Link* inject = r.inLinks_[portIdx(Dir::Local)];
+  const LinkLayer* inject = r.inLinks_[portIdx(Dir::Local)];
   if (inject != nullptr) {
     const Nic& nic = net_->nic(n);
     for (int vc = 0; vc < tv; ++vc) {
       const int sum = nic.credits_[static_cast<std::size_t>(vc)] +
-                      flitsInPipe(inject->flitPipe(), vc) +
-                      creditsInPipe(inject->creditPipe(), vc) +
+                      inject->inFlightFlits(vc) +
+                      inject->inFlightCredits(vc) +
                       static_cast<int>(
                           r.inVc(portIdx(Dir::Local), vc).buf.size());
       if (sum != depth)
@@ -538,17 +527,13 @@ void NetworkOracle::censusScan(Cycle now) {
         for (std::size_t i = 0; i < buf.size(); ++i)
           audit(buf[i], n, "input buffer");
       }
-      if (const Link* out = r.outLinks_[static_cast<std::size_t>(port)]) {
-        const auto& pipe = out->flitPipe();
-        for (std::size_t i = 0; i < pipe.size(); ++i)
-          audit(pipe.entry(i).second.flit, n, "output link");
-      }
+      if (const LinkLayer* out = r.outLinks_[static_cast<std::size_t>(port)])
+        out->forEachFlit(
+            [&](const FlitMsg& m) { audit(m.flit, n, "output link"); });
     }
-    if (const Link* inject = r.inLinks_[portIdx(Dir::Local)]) {
-      const auto& pipe = inject->flitPipe();
-      for (std::size_t i = 0; i < pipe.size(); ++i)
-        audit(pipe.entry(i).second.flit, n, "inject link");
-    }
+    if (const LinkLayer* inject = r.inLinks_[portIdx(Dir::Local)])
+      inject->forEachFlit(
+          [&](const FlitMsg& m) { audit(m.flit, n, "inject link"); });
     for (const auto& s : net_->nic(n).active_) streaming_.insert(s.pkt.id);
   }
 
@@ -629,10 +614,11 @@ void NetworkOracle::deadlockScan(Cycle now) {
         if (ivc.outPort < 0 || ivc.outPort == portIdx(Dir::Local)) continue;
         const auto& o = r.outVc(ivc.outPort, ivc.outVc);
         if (o.credits != 0) continue;
-        const Link* out = r.outLinks_[static_cast<std::size_t>(ivc.outPort)];
+        const LinkLayer* out =
+            r.outLinks_[static_cast<std::size_t>(ivc.outPort)];
         if (out == nullptr) continue;
-        if (flitsInPipe(out->flitPipe(), ivc.outVc) != 0 ||
-            creditsInPipe(out->creditPipe(), ivc.outVc) != 0)
+        if (out->inFlightFlits(ivc.outVc) != 0 ||
+            out->inFlightCredits(ivc.outVc) != 0)
           continue;
         const auto nb = mesh.neighbor(n, static_cast<Dir>(ivc.outPort));
         if (!nb.has_value()) continue;

@@ -18,16 +18,30 @@ FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan)
   lost_.assign(n * static_cast<std::size_t>(kNumPorts) *
                    static_cast<std::size_t>(net_->layout().totalVcs()),
                0);
+  const bool retx = net_->config().linkLayer == LinkLayerKind::Retx;
   for (const FaultEvent& e : plan_.events()) {
     RAIR_CHECK_MSG(net_->mesh().contains(e.node),
                    "fault plan names a node outside the mesh");
     if (e.kind == FaultKind::LinkDown || e.kind == FaultKind::LinkUp) {
       RAIR_CHECK_MSG(net_->mesh().neighbor(e.node, e.dir).has_value(),
                      "fault plan kills a link that does not exist");
+      // The reconfiguration flush purges link pipes; a retransmission
+      // link's replay/sequence state has no purge semantics (a purged
+      // entry would be "retransmitted" forever). The two fault families
+      // are deliberately disjoint per link layer.
+      RAIR_CHECK_MSG(!retx,
+                     "link outage faults require the ideal link layer");
     }
     if (e.kind == FaultKind::CreditLoss) {
       RAIR_CHECK_MSG(e.vc >= 0 && e.vc < net_->layout().totalVcs(),
                      "fault plan names a VC outside the layout");
+    }
+    if (e.kind == FaultKind::CorruptFlit) {
+      RAIR_CHECK_MSG(net_->mesh().neighbor(e.node, e.dir).has_value(),
+                     "fault plan corrupts a link that does not exist");
+      RAIR_CHECK_MSG(retx,
+                     "corrupt_flit faults require the retx link layer "
+                     "(--link-layer retx)");
     }
   }
 }
@@ -59,6 +73,8 @@ FaultStats FaultInjector::stats() const {
   s.unreachablePairs = unreachablePairs_;
   s.degradedCycles = degradedCycles_;
   s.recoveryCycles = recoveryCycles_;
+  s.corruptedFlits = net_->totalCorruptedFlits();
+  s.retransmittedFlits = net_->totalRetransmittedFlits();
   return s;
 }
 
@@ -131,6 +147,11 @@ void FaultInjector::applyEvent(const FaultEvent& e, bool& topoChanged) {
     case FaultKind::InjectThaw:
       net_->nic(e.node).injectFrozen_ = false;
       break;
+    case FaultKind::CorruptFlit:
+      net_->router(e.node)
+          .outLinks_[static_cast<std::size_t>(e.dir)]
+          ->corruptNext(e.count);
+      break;
   }
 }
 
@@ -148,12 +169,11 @@ void FaultInjector::applyTopologyChange(Cycle now) {
     Router& r = net_->router(node);
     // (a) flits in flight on a dead link.
     for (int p = localPort + 1; p < kNumPorts; ++p) {
-      Link* link = r.outLinks_[static_cast<std::size_t>(p)];
+      LinkLayer* link = r.outLinks_[static_cast<std::size_t>(p)];
       if (link == nullptr || degraded_.linkAlive(node, static_cast<Dir>(p)))
         continue;
-      const auto& pipe = link->flitPipe();
-      for (std::size_t i = 0; i < pipe.size(); ++i)
-        doomedIds.push_back(pipe.entry(i).second.flit.pkt);
+      link->forEachFlit(
+          [&](const FlitMsg& m) { doomedIds.push_back(m.flit.pkt); });
     }
     // (b) committed toward a dead port; (d) non-ejecting escape
     // allocations (the reconfiguration flush — see injector.h).
@@ -185,15 +205,12 @@ void FaultInjector::applyTopologyChange(Cycle now) {
           const auto& buf = r.inVc(p, vc).buf;
           for (std::size_t i = 0; i < buf.size(); ++i) note(buf[i], node);
         }
-        const Link* link = r.outLinks_[static_cast<std::size_t>(p)];
+        const LinkLayer* link = r.outLinks_[static_cast<std::size_t>(p)];
         if (link == nullptr) continue;
-        const auto& pipe = link->flitPipe();
-        for (std::size_t i = 0; i < pipe.size(); ++i)
-          note(pipe.entry(i).second.flit, node);
+        link->forEachFlit([&](const FlitMsg& m) { note(m.flit, node); });
       }
-      const auto& inject = net_->nic(node).toRouter_->flitPipe();
-      for (std::size_t i = 0; i < inject.size(); ++i)
-        note(inject.entry(i).second.flit, node);
+      net_->nic(node).toRouter_->forEachFlit(
+          [&](const FlitMsg& m) { note(m.flit, node); });
     }
     sim_->ledger().forEachLive([&](const Packet& p) {
       NodeId where = loc[PacketPool::slotOf(p.id)];
@@ -210,7 +227,6 @@ void FaultInjector::applyTopologyChange(Cycle now) {
   };
 
   // ---- Purge every flit of every doomed packet, refunding credits -------
-  std::vector<std::pair<Cycle, FlitMsg>> scratch;
   for (NodeId node = 0; node < numNodes; ++node) {
     Router& r = net_->router(node);
     Nic& nic = net_->nic(node);
@@ -273,45 +289,28 @@ void FaultInjector::applyTopologyChange(Cycle now) {
         }
       }
 
-      // Out-link flit pipes (Local = the ejection pipe). Each removed flit
-      // returns the credit this router spent sending it.
-      Link* link = r.outLinks_[static_cast<std::size_t>(p)];
-      if (link == nullptr || link->flitPipe().empty()) continue;
-      auto& pipe = link->flitPipeMut();
-      scratch.clear();
-      for (std::size_t i = 0; i < pipe.size(); ++i)
-        scratch.push_back(pipe.entry(i));
-      pipe.clearForRestore();
-      for (auto& [arrival, msg] : scratch) {
-        if (isDoomed(msg.flit.pkt)) {
-          auto& ovc = r.outVc(p, msg.vc);
-          ++ovc.credits;
-          RAIR_CHECK_MSG(ovc.credits <= r.vcDepth_,
-                         "fault refund overflow (pipe)");
-        } else {
-          pipe.pushAbsolute(arrival, std::move(msg));
-        }
-      }
+      // Out-link in-flight flits (Local = the ejection channel). Each
+      // removed flit returns the credit this router spent sending it.
+      LinkLayer* link = r.outLinks_[static_cast<std::size_t>(p)];
+      if (link == nullptr) continue;
+      link->purgeFlits([&](const FlitMsg& m) { return isDoomed(m.flit.pkt); },
+                       [&](int vc) {
+                         auto& ovc = r.outVc(p, vc);
+                         ++ovc.credits;
+                         RAIR_CHECK_MSG(ovc.credits <= r.vcDepth_,
+                                        "fault refund overflow (pipe)");
+                       });
     }
 
-    // NIC injection pipe (the NIC is its upstream side).
-    if (!nic.toRouter_->flitPipe().empty()) {
-      auto& pipe = nic.toRouter_->flitPipeMut();
-      scratch.clear();
-      for (std::size_t i = 0; i < pipe.size(); ++i)
-        scratch.push_back(pipe.entry(i));
-      pipe.clearForRestore();
-      for (auto& [arrival, msg] : scratch) {
-        if (isDoomed(msg.flit.pkt)) {
-          int& c = nic.credits_[static_cast<std::size_t>(msg.vc)];
+    // NIC injection channel (the NIC is its upstream side).
+    nic.toRouter_->purgeFlits(
+        [&](const FlitMsg& m) { return isDoomed(m.flit.pkt); },
+        [&](int vc) {
+          int& c = nic.credits_[static_cast<std::size_t>(vc)];
           ++c;
           RAIR_CHECK_MSG(c <= nic.vcDepth_,
                          "fault refund overflow (inject pipe)");
-        } else {
-          pipe.pushAbsolute(arrival, std::move(msg));
-        }
-      }
-    }
+        });
 
     // Mid-injection streams: removing the stream releases its VC claim
     // (claims are represented by stream membership). The round-robin

@@ -13,6 +13,7 @@ namespace {
 
 constexpr std::string_view kKindNames[] = {
     "down", "up", "stall", "unstall", "creditloss", "freeze", "thaw",
+    "corrupt",
 };
 
 bool parseDir(std::string_view tok, Dir& out) {
@@ -87,6 +88,11 @@ void FaultPlan::creditLoss(Cycle at, NodeId node, Dir dir, int vc,
   add({at, FaultKind::CreditLoss, node, dir, vc, count});
 }
 
+void FaultPlan::corruptFlits(Cycle at, NodeId node, Dir dir, int count) {
+  RAIR_CHECK(count >= 1);
+  add({at, FaultKind::CorruptFlit, node, dir, 0, count});
+}
+
 void FaultPlan::encode(snapshot::Writer& w) const {
   w.u32(static_cast<std::uint32_t>(events_.size()));
   for (const FaultEvent& e : events_) {
@@ -123,6 +129,7 @@ std::string FaultPlan::format() const {
     if (needsDir(e.kind)) out << ' ' << dirToken(e.dir);
     if (e.kind == FaultKind::CreditLoss)
       out << ' ' << e.vc << ' ' << e.count;
+    if (e.kind == FaultKind::CorruptFlit) out << ' ' << e.count;
     out << '\n';
   }
   return out.str();
@@ -187,6 +194,12 @@ bool FaultPlan::parse(std::string_view text, FaultPlan& out,
           !parseInt(toks[next + 1], e.count) || e.count < 1)
         return fail(lineNo, "creditloss needs '<vc> <count>'");
       next += 2;
+    }
+    if (e.kind == FaultKind::CorruptFlit) {
+      if (toks.size() < next + 1 || !parseInt(toks[next], e.count) ||
+          e.count < 1)
+        return fail(lineNo, "corrupt needs '<count>'");
+      next += 1;
     }
     if (toks.size() != next) return fail(lineNo, "trailing tokens");
     plan.add(e);

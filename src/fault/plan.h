@@ -34,6 +34,11 @@ enum class FaultKind : std::uint8_t {
   CreditLoss,     ///< destroy `count` credits of (node, out-port dir, vc)
   InjectFreeze,   ///< NIC `node` stops claiming VCs and injecting flits
   InjectThaw,     ///< release the freeze
+  /// Corrupt the next `count` flits entering the wire of router `node`'s
+  /// output channel toward `dir` (CRC failure at the receiver). Requires
+  /// the retransmission link layer — recoverable transient faults, unlike
+  /// the outage kinds above.
+  CorruptFlit,
 };
 
 std::string_view faultKindName(FaultKind k);
@@ -62,6 +67,7 @@ class FaultPlan {
   void portStall(Cycle at, NodeId node, Dir dir, Cycle duration);
   void injectFreeze(Cycle at, NodeId node, Cycle duration);
   void creditLoss(Cycle at, NodeId node, Dir dir, int vc, int count);
+  void corruptFlits(Cycle at, NodeId node, Dir dir, int count);
 
   bool empty() const { return events_.empty(); }
   std::size_t size() const { return events_.size(); }
@@ -76,6 +82,7 @@ class FaultPlan {
   ///   @<cycle> down|up|stall|unstall <node> <N|E|S|W>
   ///   @<cycle> creditloss <node> <N|E|S|W> <vc> <count>
   ///   @<cycle> freeze|thaw <node>
+  ///   @<cycle> corrupt <node> <N|E|S|W> <count>
   std::string format() const;
   static bool parse(std::string_view text, FaultPlan& out,
                     std::string* error = nullptr);
@@ -96,6 +103,8 @@ struct FaultStats {
   std::uint64_t unreachablePairs = 0; ///< worst ordered-pair count observed
   std::uint64_t degradedCycles = 0;   ///< cycles with >= 1 dead link
   std::uint64_t recoveryCycles = 0;   ///< outage start -> full restore, summed
+  std::uint64_t corruptedFlits = 0;     ///< CRC-failed wire traversals
+  std::uint64_t retransmittedFlits = 0; ///< go-back-N replay traversals
 
   friend bool operator==(const FaultStats&, const FaultStats&) = default;
 };

@@ -1,10 +1,9 @@
-// Inter-router channels: fixed-latency delay pipes for flits (forward) and
-// credits (backward).
+// Channel primitives shared by every link-layer implementation: the
+// fixed-latency delay pipe plus the flit/credit wire messages.
 //
-// A Link models one physical channel between an upstream port and a
-// downstream port: at most one flit enters per cycle, arrives
-// `latency` cycles later, and credits flow the opposite way with the same
-// latency. NIC<->router connections reuse the same type.
+// Moved out of router/link.h when the concrete Link became the pluggable
+// LinkLayer contract (link/link_layer.h); the pipe semantics are
+// unchanged so snapshot bytes and oracle accounting stay identical.
 #pragma once
 
 #include <optional>
@@ -85,43 +84,6 @@ struct FlitMsg {
 /// A credit returning upstream: one buffer slot freed in `vc`.
 struct CreditMsg {
   int vc = 0;
-};
-
-/// One directed physical channel plus its reverse credit wires.
-class Link {
- public:
-  explicit Link(Cycle latency = 1) : data_(latency), credits_(latency) {}
-
-  // Upstream side.
-  void sendFlit(Cycle now, Flit f, int vc) {
-    data_.push(now, FlitMsg{std::move(f), vc});
-  }
-  std::optional<CreditMsg> recvCredit(Cycle now) { return credits_.pop(now); }
-  /// Zero-copy credit receive; pair with popCredit().
-  const CreditMsg* peekCredit(Cycle now) const { return credits_.peek(now); }
-  void popCredit() { credits_.popFront(); }
-
-  // Downstream side.
-  std::optional<FlitMsg> recvFlit(Cycle now) { return data_.pop(now); }
-  /// Zero-copy flit receive; pair with popFlit().
-  const FlitMsg* peekFlit(Cycle now) const { return data_.peek(now); }
-  void popFlit() { data_.popFront(); }
-  void sendCredit(Cycle now, int vc) { credits_.push(now, CreditMsg{vc}); }
-
-  bool idle() const { return data_.empty() && credits_.empty(); }
-
-  /// Read-only pipe views — introspection for the simulation oracle
-  /// (flit census, credit round-trip accounting) and tests.
-  const DelayPipe<FlitMsg>& flitPipe() const { return data_; }
-  const DelayPipe<CreditMsg>& creditPipe() const { return credits_; }
-
-  /// Mutable pipe access for snapshot restore only.
-  DelayPipe<FlitMsg>& flitPipeMut() { return data_; }
-  DelayPipe<CreditMsg>& creditPipeMut() { return credits_; }
-
- private:
-  DelayPipe<FlitMsg> data_;
-  DelayPipe<CreditMsg> credits_;
 };
 
 }  // namespace rair

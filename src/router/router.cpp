@@ -42,8 +42,16 @@ Router::Router(NodeId id, AppId appTag, const RouterConfig& config,
   freeAdaptive_.fill(adaptivePerPort);
 }
 
-void Router::connectIn(Dir p, Link* link) { inLinks_[portIdx(p)] = link; }
-void Router::connectOut(Dir p, Link* link) { outLinks_[portIdx(p)] = link; }
+void Router::connectIn(Dir p, LinkLayer* link) {
+  inLinks_[portIdx(p)] = link;
+  if (link->kind() != LinkLayerKind::Ideal)
+    tickIn_[static_cast<size_t>(numTickIn_++)] = link;
+}
+void Router::connectOut(Dir p, LinkLayer* link) {
+  outLinks_[portIdx(p)] = link;
+  if (link->kind() != LinkLayerKind::Ideal)
+    tickOut_[static_cast<size_t>(numTickOut_++)] = link;
+}
 
 bool Router::debugDropCredit(Dir p, int vc) {
   const int port = portIdx(p);
@@ -111,7 +119,7 @@ void Router::beginCycle(Cycle now) {
   if (policyState_) policy_->updateState(policyState_.get(), prevOccupancy_);
 
   for (int port = 0; port < kNumPorts; ++port) {
-    if (Link* in = inLinks_[static_cast<size_t>(port)]) {
+    if (LinkLayer* in = inLinks_[static_cast<size_t>(port)]) {
       while (const FlitMsg* msg = in->peekFlit(now)) {
         const int vcIdx = msg->vc;
         InputVc& ivc = inVc(port, vcIdx);
@@ -141,7 +149,7 @@ void Router::beginCycle(Cycle now) {
         if (wasEmpty) reclassifyOccupancy(ivc);
       }
     }
-    if (Link* out = outLinks_[static_cast<size_t>(port)]) {
+    if (LinkLayer* out = outLinks_[static_cast<size_t>(port)]) {
       while (const CreditMsg* credit = out->peekCredit(now)) {
         const int vcIdx = credit->vc;
         out->popCredit();
@@ -436,7 +444,7 @@ void Router::switchAllocateAndTraverse(Cycle now) {
     --ovc.credits;
     RAIR_DCHECK(ovc.credits >= 0);
     outLinks_[static_cast<size_t>(w.outPort)]->sendFlit(now, f, w.outVc);
-    if (Link* in = inLinks_[static_cast<size_t>(w.inPort)])
+    if (LinkLayer* in = inLinks_[static_cast<size_t>(w.inPort)])
       in->sendCredit(now, w.inVc);
     ++flitsMovedThisCycle_;
     ++counters_.flitsTraversed;
@@ -475,9 +483,19 @@ void Router::switchAllocateAndTraverse(Cycle now) {
   }
 }
 
-void Router::endCycle(Cycle /*now*/) {
+void Router::endCycle(Cycle now) {
   // O(1): the occupancy registers are maintained incrementally.
   prevOccupancy_ = occupancy();
+  // Link-layer per-cycle hooks: this router is the upstream endpoint of
+  // its out-links and the downstream endpoint of its in-links. Running
+  // them here — after ST sent this cycle's flit and credits — keeps each
+  // wire single-writer-per-phase (see link_layer.h). Only non-ideal
+  // links register for ticks (connectIn/connectOut), so an ideal network
+  // pays nothing per cycle — exactly the pre-refactor loop.
+  for (int i = 0; i < numTickOut_; ++i)
+    tickOut_[static_cast<size_t>(i)]->tickUpstream(now);
+  for (int i = 0; i < numTickIn_; ++i)
+    tickIn_[static_cast<size_t>(i)]->tickDownstream(now);
 }
 
 void Router::save(snapshot::Writer& w) const {

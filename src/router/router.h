@@ -27,8 +27,8 @@
 #include <vector>
 
 #include "common/ring.h"
+#include "link/link_layer.h"
 #include "policy/policy.h"
-#include "router/link.h"
 #include "router/vc.h"
 #include "routing/routing.h"
 #include "topology/mesh.h"
@@ -91,10 +91,10 @@ class Router {
   // --- Wiring (done once by the Network) ---------------------------------
   /// Link whose downstream side is this router's port `p` (flits arrive
   /// here; credits are returned on it).
-  void connectIn(Dir p, Link* link);
+  void connectIn(Dir p, LinkLayer* link);
   /// Link whose upstream side is this router's port `p` (flits leave here;
   /// credits arrive on it).
-  void connectOut(Dir p, Link* link);
+  void connectOut(Dir p, LinkLayer* link);
 
   // --- Per-cycle phases, invoked in order by the Network ------------------
   /// Updates policy state with last cycle's occupancy; drains arriving
@@ -106,7 +106,9 @@ class Router {
   void vcAllocate(Cycle now);
   /// SA stage (SA_in + SA_out) and switch traversal of the winners.
   void switchAllocateAndTraverse(Cycle now);
-  /// Snapshots VC occupancy for next cycle's policy update.
+  /// Snapshots VC occupancy for next cycle's policy update and runs the
+  /// link layers' once-per-cycle hooks (retransmission pump on out-links,
+  /// ACK/NAK flush on in-links; no-ops on ideal links).
   void endCycle(Cycle now);
 
   // --- Introspection -------------------------------------------------------
@@ -259,8 +261,8 @@ class Router {
 
   std::vector<InputVc> inputs_;    // [port][vc] flattened
   std::vector<OutputVc> outputs_;  // [port][vc] flattened
-  std::array<Link*, kNumPorts> inLinks_{};
-  std::array<Link*, kNumPorts> outLinks_{};
+  std::array<LinkLayer*, kNumPorts> inLinks_{};
+  std::array<LinkLayer*, kNumPorts> outLinks_{};
 
   // Round-robin grant pointers.
   std::vector<int> vaRr_;                    // per output VC, over input-VC ids
@@ -296,6 +298,16 @@ class Router {
   std::array<std::uint64_t, kNumPorts> routingMask_{};
   std::array<std::uint64_t, kNumPorts> waitingMask_{};
   std::array<std::uint64_t, kNumPorts> activeMask_{};
+
+  // Links whose per-cycle hooks are not no-ops (kind != Ideal), filled by
+  // connectIn/connectOut so endCycle skips the tick loop entirely on an
+  // all-ideal network. Kept last: touched only during construction and in
+  // endCycle's (usually empty) tick loop, so they stay off the cache
+  // lines the pipeline stages walk every cycle.
+  std::array<LinkLayer*, kNumPorts> tickIn_{};
+  std::array<LinkLayer*, kNumPorts> tickOut_{};
+  int numTickIn_ = 0;
+  int numTickOut_ = 0;
 
   void setStateBit(std::array<std::uint64_t, kNumPorts>& m, int port,
                    int vc, bool on) {

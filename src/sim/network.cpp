@@ -51,14 +51,35 @@ Network::Network(const Mesh& mesh, const RegionMap& regions,
 
 void Network::wire() {
   // Exact link count up front: the wiring below hands out pointers into
-  // links_, which must therefore never reallocate.
+  // the typed link vector, which must therefore never reallocate.
   std::size_t numLinks = 0;
   for (NodeId n = 0; n < mesh_->numNodes(); ++n) {
     for (Dir d : kRouterDirs)
       if (mesh_->neighbor(n, d)) ++numLinks;
     numLinks += 2;  // NIC inject + eject
   }
+  const bool retx = config_.linkLayer == LinkLayerKind::Retx;
+  if (retx)
+    retxLinks_.reserve(numLinks);
+  else
+    idealLinks_.reserve(numLinks);
   links_.reserve(numLinks);
+  // Retx replay capacity: un-ACKed occupancy is bounded by the credits the
+  // upstream endpoint can hold (totalVcs * vcDepth) plus the entries whose
+  // cumulative ACK is still on the wire (round trip), with slack for the
+  // staged-flush cycles.
+  const std::size_t replayCap =
+      static_cast<std::size_t>(layout_.totalVcs()) *
+          static_cast<std::size_t>(config_.vcDepth) +
+      2 * static_cast<std::size_t>(config_.linkLatency) + 4;
+  auto makeLink = [&]() -> LinkLayer* {
+    if (retx) {
+      retxLinks_.emplace_back(config_.linkLatency, replayCap);
+      return &retxLinks_.back();
+    }
+    idealLinks_.emplace_back(config_.linkLatency);
+    return &idealLinks_.back();
+  };
 
   // Router-to-router links: one per directed edge (east/south owned to
   // avoid duplicates; the reverse direction gets its own link).
@@ -66,16 +87,16 @@ void Network::wire() {
     for (Dir d : kRouterDirs) {
       const auto nb = mesh_->neighbor(n, d);
       if (!nb) continue;
-      links_.emplace_back(config_.linkLatency);
-      Link* link = &links_.back();
+      LinkLayer* link = makeLink();
+      links_.push_back(link);
       routers_[static_cast<size_t>(n)].connectOut(d, link);
       routers_[static_cast<size_t>(*nb)].connectIn(opposite(d), link);
     }
     // NIC <-> router local-port links.
-    links_.emplace_back(config_.linkLatency);
-    Link* inject = &links_.back();
-    links_.emplace_back(config_.linkLatency);
-    Link* eject = &links_.back();
+    LinkLayer* inject = makeLink();
+    links_.push_back(inject);
+    LinkLayer* eject = makeLink();
+    links_.push_back(eject);
     routers_[static_cast<size_t>(n)].connectIn(Dir::Local, inject);
     routers_[static_cast<size_t>(n)].connectOut(Dir::Local, eject);
     nics_[static_cast<size_t>(n)].connect(inject, eject);
@@ -158,9 +179,21 @@ bool Network::quiescent() const {
     if (!r.quiescent()) return false;
   for (const auto& n : nics_)
     if (!n.quiescent()) return false;
-  for (const auto& l : links_)
-    if (!l.idle()) return false;
+  for (const LinkLayer* l : links_)
+    if (!l->idle()) return false;
   return true;
+}
+
+std::uint64_t Network::totalCorruptedFlits() const {
+  std::uint64_t total = 0;
+  for (const LinkLayer* l : links_) total += l->corruptedFlits();
+  return total;
+}
+
+std::uint64_t Network::totalRetransmittedFlits() const {
+  std::uint64_t total = 0;
+  for (const LinkLayer* l : links_) total += l->retransmittedFlits();
+  return total;
 }
 
 int Network::freeVcsThrough(NodeId n, Dir d) const {
@@ -199,7 +232,7 @@ void Network::save(snapshot::Writer& w) const {
   }
   for (std::size_t i = 0; i < links_.size(); ++i) {
     w.beginSection(elementSection("link", i));
-    snapshot::saveLink(w, links_[i]);
+    links_[i]->save(w);
     w.endSection();
   }
 }
@@ -223,7 +256,7 @@ void Network::restore(snapshot::Reader& r) {
   }
   for (std::size_t i = 0; i < links_.size(); ++i) {
     r.beginSection(elementSection("link", i));
-    snapshot::restoreLink(r, links_[i]);
+    links_[i]->restore(r);
     r.endSection();
   }
 }

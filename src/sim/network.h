@@ -5,9 +5,10 @@
 #include <memory>
 #include <vector>
 
+#include "link/link_layer.h"
+#include "link/retx.h"
 #include "policy/policy.h"
 #include "region/region_map.h"
-#include "router/link.h"
 #include "router/router.h"
 #include "routing/routing.h"
 #include "sim/nic.h"
@@ -41,6 +42,10 @@ struct NetworkConfig {
   /// argument valid); escape VCs are always atomic.
   bool atomicVcs = true;
   Cycle linkLatency = 1;
+  /// Which link-layer implementation every channel is built with. Ideal
+  /// (the default) is the paper's lossless channel; Retx adds
+  /// CRC/retransmission and enables corrupt_flit fault plans.
+  LinkLayerKind linkLayer = LinkLayerKind::Ideal;
 };
 
 /// Owns every hardware element; advances them one cycle at a time.
@@ -95,6 +100,13 @@ class Network final : public CongestionView {
   /// Cumulative switch traversals (flit-hops) summed over all routers.
   std::uint64_t totalFlitsTraversed() const;
 
+  /// Uniform view of every link in wiring order (oracle sweeps, tools).
+  const std::vector<LinkLayer*>& links() const { return links_; }
+
+  /// Network-wide link-layer fault totals (0 on ideal links).
+  std::uint64_t totalCorruptedFlits() const;
+  std::uint64_t totalRetransmittedFlits() const;
+
   /// True when every router, NIC and link holds no traffic.
   bool quiescent() const;
 
@@ -125,11 +137,15 @@ class Network final : public CongestionView {
 
   // Contiguous element storage: the per-cycle phase loops stride through
   // these directly instead of chasing one heap pointer per element. All
-  // three vectors are reserved to their exact final size before wiring, so
-  // the Link*/element pointers handed out during wire() stay valid.
+  // element vectors are reserved to their exact final size before wiring,
+  // so the LinkLayer*/element pointers handed out during wire() stay
+  // valid. Exactly one of the two typed link vectors is populated (per
+  // config_.linkLayer); links_ is the uniform view over it.
   std::vector<Router> routers_;
   std::vector<Nic> nics_;
-  std::vector<Link> links_;
+  std::vector<IdealLink> idealLinks_;
+  std::vector<RetxLink> retxLinks_;
+  std::vector<LinkLayer*> links_;
 
   // Mesh adjacency flattened once at construction: [node][4 router dirs]
   // -> neighbor id or -1. propagateCongestion runs every cycle and would

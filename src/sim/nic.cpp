@@ -20,9 +20,11 @@ Nic::Nic(NodeId node, AppId appTag, const VcLayout& layout, int routerVcDepth,
   queues_.reserve(16);  // (class, app) pairs actually seen; grows if more
 }
 
-void Nic::connect(Link* toRouter, Link* fromRouter) {
+void Nic::connect(LinkLayer* toRouter, LinkLayer* fromRouter) {
   toRouter_ = toRouter;
   fromRouter_ = fromRouter;
+  linksNeedTicks_ = toRouter->kind() != LinkLayerKind::Ideal ||
+                    fromRouter->kind() != LinkLayerKind::Ideal;
 }
 
 Nic::SubQueue& Nic::subQueue(MsgClass cls, AppId app) {
@@ -101,6 +103,20 @@ void Nic::tick(Cycle now) {
       events_->onDelivered(f.pkt, now, headHops_[static_cast<size_t>(vc)]);
   }
 
+  injectPhase(now);
+
+  // Link-layer per-cycle hooks. The NIC runs inside phase A, before its
+  // own router's beginCycle, so pumping the inject link here keeps
+  // same-cycle delivery timing and the single writer-per-phase wire
+  // discipline (see link_layer.h). Ideal links need no ticks; the flag
+  // computed at connect() keeps them off the per-cycle path entirely.
+  if (linksNeedTicks_) {
+    toRouter_->tickUpstream(now);
+    fromRouter_->tickDownstream(now);
+  }
+}
+
+void Nic::injectPhase(Cycle now) {
   // VC claims: round-robin over the per-(class, app) sub-queues so one
   // application's backlog cannot monopolize the claim opportunities.
   if (injectFrozen_) return;  // fault freeze: no claims, no injection

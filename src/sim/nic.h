@@ -22,8 +22,8 @@
 #include <vector>
 
 #include "common/ring.h"
+#include "link/link_layer.h"
 #include "packet/packet.h"
-#include "router/link.h"
 #include "router/vc.h"
 
 namespace rair::snapshot {
@@ -62,7 +62,7 @@ class Nic {
       bool atomicVcs);
 
   /// `toRouter`: NIC is the upstream side. `fromRouter`: downstream side.
-  void connect(Link* toRouter, Link* fromRouter);
+  void connect(LinkLayer* toRouter, LinkLayer* fromRouter);
 
   /// Queues a packet for injection (source queues are unbounded: open-loop
   /// measurement per Dally & Towles).
@@ -98,6 +98,10 @@ class Nic {
   /// VC index or -1.
   int claimVc(const Packet& p) const;
 
+  /// VC claims + the at-most-one-flit injection of tick(). Split out so
+  /// tick() always reaches the link layers' per-cycle hooks afterwards.
+  void injectPhase(Cycle now);
+
   struct SubQueue {
     MsgClass cls;
     AppId app;
@@ -110,8 +114,11 @@ class Nic {
   VcLayout layout_;
   int vcDepth_;
   bool atomicVcs_;
-  Link* toRouter_ = nullptr;
-  Link* fromRouter_ = nullptr;
+  LinkLayer* toRouter_ = nullptr;
+  LinkLayer* fromRouter_ = nullptr;
+  /// Whether either link has non-no-op per-cycle hooks (kind != Ideal);
+  /// keeps the tick calls off the per-cycle path on ideal networks.
+  bool linksNeedTicks_ = false;
 
   std::vector<SubQueue> queues_;  ///< one per (message class, application)
   std::vector<Stream> active_;    ///< packets mid-injection

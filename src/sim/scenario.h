@@ -122,6 +122,12 @@ struct ScenarioSpec {
     seed = s;
     return *this;
   }
+  /// Selects the link-layer implementation every channel is built with
+  /// (default Ideal; Retx enables corrupt_flit fault plans).
+  ScenarioSpec& withLinkLayer(LinkLayerKind kind) {
+    config.net.linkLayer = kind;
+    return *this;
+  }
   /// Runs the simulation on the deterministic sharded cycle engine with
   /// `n` shards/worker threads (n >= 1); results and snapshots are
   /// byte-identical for every value, and to the default single-threaded

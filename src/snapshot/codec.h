@@ -9,9 +9,9 @@
 
 #include "common/ring.h"
 #include "common/rng.h"
+#include "link/pipe.h"
 #include "metrics/histogram.h"
 #include "packet/packet.h"
-#include "router/link.h"
 #include "routing/routing.h"
 #include "snapshot/buffer.h"
 
@@ -142,16 +142,6 @@ inline void restoreFlitMsg(Reader& r, FlitMsg& m) {
 inline void saveCreditMsg(Writer& w, const CreditMsg& m) { w.i32(m.vc); }
 
 inline void restoreCreditMsg(Reader& r, CreditMsg& m) { m.vc = r.i32(); }
-
-inline void saveLink(Writer& w, const Link& link) {
-  saveDelayPipe(w, link.flitPipe(), saveFlitMsg);
-  saveDelayPipe(w, link.creditPipe(), saveCreditMsg);
-}
-
-inline void restoreLink(Reader& r, Link& link) {
-  restoreDelayPipe(r, link.flitPipeMut(), restoreFlitMsg);
-  restoreDelayPipe(r, link.creditPipeMut(), restoreCreditMsg);
-}
 
 inline void saveHistogram(Writer& w, const metrics::Histogram& h) {
   const auto s = h.rawState();

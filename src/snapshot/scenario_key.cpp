@@ -61,6 +61,10 @@ void encodeWarmPrefix(Writer& w, const ScenarioSpec& spec) {
   // Fault plan (state version 2): events can fire during warm-up, so two
   // specs share warm state only when their full plans match.
   spec.faults.encode(w);
+
+  // Link layer (appended): a retx-linked network carries replay/sequence
+  // state an ideal-linked one does not, so the two never share snapshots.
+  w.u8(static_cast<std::uint8_t>(net.linkLayer));
 }
 
 }  // namespace

@@ -1,4 +1,4 @@
-#include "router/link.h"
+#include "link/link_layer.h"
 
 #include <gtest/gtest.h>
 
@@ -36,8 +36,8 @@ TEST(DelayPipe, SizeAndEmpty) {
   EXPECT_TRUE(p.empty());
 }
 
-TEST(Link, FlitAndCreditChannelsAreIndependent) {
-  Link link(1);
+TEST(IdealLink, FlitAndCreditChannelsAreIndependent) {
+  IdealLink link(1);
   Flit f;
   f.pkt = 9;
   link.sendFlit(0, f, 2);
@@ -54,8 +54,8 @@ TEST(Link, FlitAndCreditChannelsAreIndependent) {
   EXPECT_TRUE(link.idle());
 }
 
-TEST(Link, NotVisibleBeforeLatency) {
-  Link link(1);
+TEST(IdealLink, NotVisibleBeforeLatency) {
+  IdealLink link(1);
   Flit f;
   link.sendFlit(5, f, 0);
   EXPECT_FALSE(link.recvFlit(5).has_value());

@@ -86,8 +86,10 @@ class RouterBench {
   Mesh mesh_;
   LocalAdaptiveRouting routing_;
   OpenCongestion congestion_;
-  Link in_[kNumPorts]{Link{1}, Link{1}, Link{1}, Link{1}, Link{1}};
-  Link out_[kNumPorts]{Link{1}, Link{1}, Link{1}, Link{1}, Link{1}};
+  IdealLink in_[kNumPorts]{IdealLink{1}, IdealLink{1}, IdealLink{1},
+                           IdealLink{1}, IdealLink{1}};
+  IdealLink out_[kNumPorts]{IdealLink{1}, IdealLink{1}, IdealLink{1},
+                            IdealLink{1}, IdealLink{1}};
   Router router_;
   Cycle now_ = 0;
 };

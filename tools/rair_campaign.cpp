@@ -20,6 +20,7 @@
 #include "campaign/runner.h"
 #include "campaign/store.h"
 #include "fault/plan.h"
+#include "link/link_layer.h"
 #include "metrics/metrics.h"
 
 namespace {
@@ -64,6 +65,17 @@ void usage(std::FILE* to) {
       "                sharded cycle engine with N threads (composes with\n"
       "                --jobs; records are byte-identical to\n"
       "                single-threaded runs; default 0 = off)\n"
+      "  --link-layer KIND\n"
+      "                ideal (default) | retx: build every channel with\n"
+      "                the CRC/retransmission link layer. Ideal-link runs\n"
+      "                reproduce existing records byte-identically; retx\n"
+      "                changes scenario identity -- use a dedicated --out\n"
+      "  --fault-density R\n"
+      "                (faults campaign only) add the density axis:\n"
+      "                MTBF-style seeded random plans at R, R/2 and 2R\n"
+      "                events per 1000 measured cycles, as\n"
+      "                <scheme>/density{0.5x,1x,2x} cells. Changes the\n"
+      "                cell set -- use a dedicated --out\n"
       "  --faults FILE\n"
       "                attach the fault plan in FILE (text format, see\n"
       "                tools/rair_fault --help) to every cell that does\n"
@@ -81,6 +93,8 @@ struct Args {
   std::string faultsFile;
   rair::metrics::MetricsOptions metrics;
   rair::Cycle checkpointEvery = 25'000;
+  rair::LinkLayerKind linkLayer = rair::LinkLayerKind::Ideal;
+  double faultDensity = 0.0;
   int jobs = 0;
   int shardThreads = 0;
   std::uint64_t seed = 1;
@@ -151,6 +165,20 @@ bool parseArgs(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.checkpointDir = v;
+    } else if (arg == "--link-layer") {
+      const char* v = next();
+      if (!v) return false;
+      const auto kind = rair::linkLayerKindFromName(v);
+      if (!kind) {
+        std::fprintf(stderr, "unknown link layer '%s'\n", v);
+        return false;
+      }
+      args.linkLayer = *kind;
+    } else if (arg == "--fault-density") {
+      const char* v = next();
+      if (!v) return false;
+      args.faultDensity = std::atof(v);
+      if (!(args.faultDensity > 0.0)) return false;
     } else if (arg == "--faults") {
       const char* v = next();
       if (!v) return false;
@@ -209,6 +237,8 @@ int main(int argc, char** argv) {
     BuildContext ctx = defaultBuildContext(args.fast);
     ctx.campaignSeed = args.seed;
     ctx.metrics = args.metrics;
+    ctx.sim.net.linkLayer = args.linkLayer;
+    ctx.faultDensity = args.faultDensity;
     ctx.sat.warmCacheDir = args.warmCache;
     ctx.log = logLine;
     auto memo = std::make_shared<std::map<std::string, double>>(data.values);

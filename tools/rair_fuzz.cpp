@@ -43,10 +43,15 @@ void usage(std::FILE* to) {
       "                       require the oracle to catch every one\n"
       "  --fault-plan         attach a seed-derived random fault plan to\n"
       "                       every case (link outages incl. permanent,\n"
-      "                       port stalls, injection freezes, credit loss)\n"
-      "                       and require zero violations: faults must\n"
-      "                       degrade, never corrupt, with every\n"
-      "                       undelivered packet accounted as dropped\n"
+      "                       port stalls, injection freezes, credit loss;\n"
+      "                       corruption bursts instead of outages under\n"
+      "                       --link-layer retx) and require zero\n"
+      "                       violations: faults must degrade, never\n"
+      "                       corrupt, with every undelivered packet\n"
+      "                       accounted as dropped\n"
+      "  --link-layer KIND    ideal | retx (default: ideal); retx builds\n"
+      "                       every channel with the CRC/retransmission\n"
+      "                       layer (go-back-N, bounded replay buffer)\n"
       "  --repro SEED         replay one case seed (decimal or 0x hex)\n"
       "  --no-shrink          report failures without shrinking\n"
       "  --shard-threads N    run every case on the sharded cycle engine\n"
@@ -118,6 +123,15 @@ bool parseArgs(int argc, char** argv, Args& args) {
       if (!v) return false;
       args.opts.shardThreads = std::atoi(v);
       if (args.opts.shardThreads < 0) return false;
+    } else if (arg == "--link-layer") {
+      const char* v = next();
+      if (!v) return false;
+      const auto kind = rair::linkLayerKindFromName(v);
+      if (!kind) {
+        std::fprintf(stderr, "unknown link layer '%s'\n", v);
+        return false;
+      }
+      args.opts.linkLayer = *kind;
     } else if (arg == "--schemes") {
       const char* v = next();
       if (!v) return false;
@@ -142,10 +156,13 @@ bool parseArgs(int argc, char** argv, Args& args) {
   return true;
 }
 
-void printFailure(const rair::check::FuzzCaseResult& res, bool faultPlan) {
+void printFailure(const rair::check::FuzzCaseResult& res,
+                  const rair::check::FuzzOptions& opts) {
   rair::check::FuzzCase c = rair::check::generateCase(res.caseSeed);
-  if (faultPlan)
+  c.linkLayer = opts.linkLayer;
+  if (opts.faultPlan)
     c.faults = rair::check::generateFaultPlan(res.caseSeed, c);
+  const bool faultPlan = opts.faultPlan;
   std::fprintf(stderr,
                "\nFAIL seed 0x%016" PRIX64 " scheme %s%s\n  case: %s\n",
                res.caseSeed, res.scheme.c_str(),
@@ -180,6 +197,7 @@ int main(int argc, char** argv) {
 
   if (args.repro) {
     FuzzCase c = generateCase(args.reproSeed);
+    c.linkLayer = args.opts.linkLayer;
     if (args.opts.faultPlan)
       c.faults = generateFaultPlan(args.reproSeed, c);
     std::printf("case 0x%016" PRIX64 ": %s\n", args.reproSeed,
@@ -191,7 +209,7 @@ int main(int argc, char** argv) {
     for (const auto& res : results) {
       if (res.failed()) {
         anyFail = true;
-        printFailure(res, args.opts.faultPlan);
+        printFailure(res, args.opts);
       } else {
         std::printf("  %s: ok (%llu scans, %llu deadlock scans%s)\n",
                     res.scheme.c_str(),
@@ -205,6 +223,10 @@ int main(int argc, char** argv) {
         if (args.opts.faultPlan)
           std::printf("    dropped by fault: %llu packets\n",
                       static_cast<unsigned long long>(res.droppedByFault));
+        if (args.opts.linkLayer == rair::LinkLayerKind::Retx)
+          std::printf("    corrupted %llu, retransmitted %llu flits\n",
+                      static_cast<unsigned long long>(res.corruptedFlits),
+                      static_cast<unsigned long long>(res.retransmittedFlits));
       }
     }
     return anyFail ? 1 : 0;
@@ -259,7 +281,11 @@ int main(int argc, char** argv) {
               sum.failures);
   if (args.opts.faultPlan)
     std::printf(", %llu packets dropped by faults", droppedTotal);
+  if (args.opts.linkLayer == rair::LinkLayerKind::Retx)
+    std::printf(", %llu corrupted / %llu retransmitted flits",
+                static_cast<unsigned long long>(sum.corruptedTotal),
+                static_cast<unsigned long long>(sum.retransmittedTotal));
   std::printf("\n");
-  for (const auto& res : sum.failed) printFailure(res, args.opts.faultPlan);
+  for (const auto& res : sum.failed) printFailure(res, args.opts);
   return sum.failures > 0 ? 1 : 0;
 }
