@@ -567,16 +567,18 @@ CampaignSpec buildAblRegions(BuildContext& ctx) {
 
 const std::vector<std::string>& faultScenarioNames() {
   static const std::vector<std::string> names = {
-      "none", "outage", "partition", "stall", "freeze", "creditloss"};
+      "none", "outage", "partition", "stall", "freeze", "creditloss",
+      "reset"};
   return names;
 }
 
 /// The canned scenario set, adjusted for the link layer: outages and
-/// partitions only exist on ideal links (retx has no purge semantics), and
-/// corruption bursts only exist on retx links.
+/// partitions only exist on ideal links (retx replay buffers hold their
+/// flits for redelivery instead), and corruption bursts only exist on retx
+/// links. Router soft resets exist on both.
 std::vector<std::string> faultScenarioNamesFor(LinkLayerKind kind) {
   if (kind == LinkLayerKind::Ideal) return faultScenarioNames();
-  return {"none", "corrupt", "stall", "freeze", "creditloss"};
+  return {"none", "corrupt", "stall", "freeze", "creditloss", "reset"};
 }
 
 /// Canonical plan of each fault scenario on the 8x8 fixture, timed
@@ -603,6 +605,10 @@ fault::FaultPlan faultScenarioPlan(const std::string& which, const Mesh& mesh,
     plan.injectFreeze(t0, mesh.nodeAt({4, 4}), dur);
   } else if (which == "creditloss") {
     plan.creditLoss(t0, mesh.nodeAt({5, 5}), Dir::West, 1, 1);
+  } else if (which == "reset") {
+    // Router soft reset at a busy center node: on ideal links a node
+    // outage, on retx links the neighbors redeliver after recovery.
+    plan.softReset(t0, mesh.nodeAt({3, 4}), dur);
   } else if (which == "corrupt") {
     // Retx layer: three 8-flit corruption bursts spread across the
     // measurement window, on busy center links.

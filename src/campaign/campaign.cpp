@@ -80,6 +80,10 @@ std::string CellRecord::toJsonLine(bool includeVolatile) const {
     f.set("recovery_cycles", JsonValue(fault->recoveryCycles));
     f.set("corrupted_flits", JsonValue(fault->corruptedFlits));
     f.set("retransmitted_flits", JsonValue(fault->retransmittedFlits));
+    // Only emitted when a plan actually reset a router, keeping every
+    // pre-soft-reset record byte-identical.
+    if (fault->softResets > 0)
+      f.set("soft_resets", JsonValue(fault->softResets));
     rec.set("fault", std::move(f));
   }
   if (includeVolatile) rec.set("wall_ms", JsonValue(wallMs));
@@ -150,6 +154,7 @@ std::optional<CellRecord> CellRecord::fromJson(const JsonValue& v) {
     fnum("recovery_cycles", fs.recoveryCycles);
     fnum("corrupted_flits", fs.corruptedFlits);
     fnum("retransmitted_flits", fs.retransmittedFlits);
+    fnum("soft_resets", fs.softResets);
     r.fault = fs;
   }
   return r;

@@ -212,8 +212,9 @@ FuzzCase shrinkCase(const FuzzCase& original, const SchemeSpec& scheme,
 
   // Fault dimension first: a case that still fails fault-free is the more
   // valuable repro. Event-count halving keeps the *suffix* — every paired
-  // release sorts after its opener, so a suffix can never strand a stall
-  // or freeze open (lone releases are harmless no-ops).
+  // release sorts after its opener, so a suffix can never strand a stall,
+  // freeze or soft reset open (lone releases — unstall, thaw, recover —
+  // are harmless no-ops).
   if (!best.faults.empty()) {
     FuzzCase cand = best;
     cand.faults = fault::FaultPlan{};

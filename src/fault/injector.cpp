@@ -18,7 +18,9 @@ FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan)
   lost_.assign(n * static_cast<std::size_t>(kNumPorts) *
                    static_cast<std::size_t>(net_->layout().totalVcs()),
                0);
+  inReset_.assign(n, 0);
   const bool retx = net_->config().linkLayer == LinkLayerKind::Retx;
+  std::vector<std::uint8_t> resetNow(n, 0);
   for (const FaultEvent& e : plan_.events()) {
     RAIR_CHECK_MSG(net_->mesh().contains(e.node),
                    "fault plan names a node outside the mesh");
@@ -43,6 +45,25 @@ FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan)
                      "corrupt_flit faults require the retx link layer "
                      "(--link-layer retx)");
     }
+    // Soft resets may not nest (events are sorted, so this replay sees
+    // them in application order). A stranded Recover is a no-op; an
+    // unrecovered reset is allowed only on the ideal layer — on the retx
+    // layer committed neighbors stall against the reset node forever, so
+    // the plan would never drain.
+    if (e.kind == FaultKind::Reset) {
+      const auto idx = static_cast<std::size_t>(e.node);
+      RAIR_CHECK_MSG(!resetNow[idx],
+                     "fault plan resets a node already in reset");
+      resetNow[idx] = 1;
+    }
+    if (e.kind == FaultKind::Recover)
+      resetNow[static_cast<std::size_t>(e.node)] = 0;
+  }
+  if (retx) {
+    for (std::size_t i = 0; i < n; ++i)
+      RAIR_CHECK_MSG(!resetNow[i],
+                     "retx-layer soft resets must recover before the plan "
+                     "ends (stalled neighbors would never drain)");
   }
 }
 
@@ -75,6 +96,7 @@ FaultStats FaultInjector::stats() const {
   s.recoveryCycles = recoveryCycles_;
   s.corruptedFlits = net_->totalCorruptedFlits();
   s.retransmittedFlits = net_->totalRetransmittedFlits();
+  s.softResets = softResets_;
   return s;
 }
 
@@ -98,7 +120,7 @@ void FaultInjector::onCycleBegin(Cycle now) {
     ++eventsApplied_;
   }
   if (topoChanged) {
-    degraded_.recompute();
+    degraded_.commit();
     applyTopologyChange(now);
     lastTopoChange_ = now;
     unreachablePairs_ =
@@ -152,6 +174,53 @@ void FaultInjector::applyEvent(const FaultEvent& e, bool& topoChanged) {
           .outLinks_[static_cast<std::size_t>(e.dir)]
           ->corruptNext(e.count);
       break;
+    case FaultKind::Reset: {
+      // Mark every incident channel dead (the node becomes its own
+      // component: routing avoids it and reachability dooms traffic to
+      // it). Under retx the receiving link ends additionally refuse
+      // arrivals so the neighbors' replay buffers redeliver after
+      // recovery. The in-router purge happens in applyTopologyChange.
+      inReset_[static_cast<std::size_t>(e.node)] = 1;
+      ++numInReset_;
+      ++softResets_;
+      for (int d = static_cast<int>(Dir::North); d < kNumPorts; ++d) {
+        const Dir dir = static_cast<Dir>(d);
+        if (net_->mesh().neighbor(e.node, dir))
+          degraded_.setLinkDead(e.node, dir, true);
+      }
+      if (net_->config().linkLayer == LinkLayerKind::Retx)
+        setNodeReceiverDown(e.node, true);
+      topoChanged = true;
+      break;
+    }
+    case FaultKind::Recover: {
+      if (!inReset_[static_cast<std::size_t>(e.node)]) break;  // stranded
+      inReset_[static_cast<std::size_t>(e.node)] = 0;
+      --numInReset_;
+      for (int d = static_cast<int>(Dir::North); d < kNumPorts; ++d) {
+        const Dir dir = static_cast<Dir>(d);
+        const auto nb = net_->mesh().neighbor(e.node, dir);
+        // A channel shared with a neighbor still in reset stays dead;
+        // that neighbor's own Recover revives it (setLinkDead is
+        // undirected).
+        if (nb && !inReset_[static_cast<std::size_t>(*nb)])
+          degraded_.setLinkDead(e.node, dir, false);
+      }
+      if (net_->config().linkLayer == LinkLayerKind::Retx)
+        setNodeReceiverDown(e.node, false);
+      topoChanged = true;
+      break;
+    }
+  }
+}
+
+void FaultInjector::setNodeReceiverDown(NodeId node, bool down) {
+  // inLinks_[Local] is the NIC injection channel, so this loop covers
+  // every channel whose receiving end sits inside the router.
+  Router& r = net_->router(node);
+  for (int p = 0; p < kNumPorts; ++p) {
+    if (LinkLayer* in = r.inLinks_[static_cast<std::size_t>(p)])
+      in->setReceiverDown(down);
   }
 }
 
@@ -161,31 +230,57 @@ void FaultInjector::applyTopologyChange(Cycle now) {
   const VcLayout& layout = net_->layout();
   const int tv = layout.totalVcs();
   const int localPort = static_cast<int>(Dir::Local);
+  const bool retx = net_->config().linkLayer == LinkLayerKind::Retx;
 
   // ---- Collect the doom set (read-only pass) ----------------------------
   std::vector<PacketId> doomedIds;
 
   for (NodeId node = 0; node < numNodes; ++node) {
     Router& r = net_->router(node);
-    // (a) flits in flight on a dead link.
-    for (int p = localPort + 1; p < kNumPorts; ++p) {
-      LinkLayer* link = r.outLinks_[static_cast<std::size_t>(p)];
-      if (link == nullptr || degraded_.linkAlive(node, static_cast<Dir>(p)))
-        continue;
-      link->forEachFlit(
-          [&](const FlitMsg& m) { doomedIds.push_back(m.flit.pkt); });
+    // (a) flits in flight on a dead link — ideal layer only; retx replay
+    // buffers hold them for redelivery after recovery.
+    if (!retx) {
+      for (int p = localPort + 1; p < kNumPorts; ++p) {
+        LinkLayer* link = r.outLinks_[static_cast<std::size_t>(p)];
+        if (link == nullptr || degraded_.linkAlive(node, static_cast<Dir>(p)))
+          continue;
+        link->forEachFlit(
+            [&](const FlitMsg& m) { doomedIds.push_back(m.flit.pkt); });
+      }
     }
-    // (b) committed toward a dead port; (d) non-ejecting escape
-    // allocations (the reconfiguration flush — see injector.h).
+    // (b) committed toward a dead port (ideal layer only — on retx the
+    // stream stalls against exhausted credits and resumes after
+    // recovery); (d) non-ejecting escape allocations (the
+    // reconfiguration flush — see injector.h).
     for (int p = 0; p < kNumPorts; ++p) {
       for (int vc = 0; vc < tv; ++vc) {
         const auto& ivc = r.inVc(p, vc);
         if (ivc.state != VcState::Active) continue;
         if (ivc.outPort == localPort) continue;  // ejecting: drains to sink
-        if (!degraded_.linkAlive(node, static_cast<Dir>(ivc.outPort)) ||
-            layout.isEscape(ivc.outVc))
+        const bool deadPort =
+            !retx &&
+            !degraded_.linkAlive(node, static_cast<Dir>(ivc.outPort));
+        if (deadPort || layout.isEscape(ivc.outVc))
           doomedIds.push_back(ivc.pktId);
       }
+    }
+    // (r) soft reset: everything inside a reset router's input VCs dies,
+    // ejecting packets included — a mid-ejection packet's handoff state
+    // lives in the router, and the NIC sink consumes per-flit so no tail
+    // is owed. On the ideal layer the NIC injection pipe dies too
+    // (node-outage semantics); on retx its flits are held for redelivery.
+    if (numInReset_ > 0 && inReset_[static_cast<std::size_t>(node)]) {
+      for (int p = 0; p < kNumPorts; ++p) {
+        for (int vc = 0; vc < tv; ++vc) {
+          const auto& ivc = r.inVc(p, vc);
+          for (std::size_t i = 0; i < ivc.buf.size(); ++i)
+            doomedIds.push_back(ivc.buf[i].pkt);
+          if (ivc.state != VcState::Idle) doomedIds.push_back(ivc.pktId);
+        }
+      }
+      if (!retx)
+        net_->nic(node).toRouter_->forEachFlit(
+            [&](const FlitMsg& m) { doomedIds.push_back(m.flit.pkt); });
     }
   }
 
@@ -215,6 +310,14 @@ void FaultInjector::applyTopologyChange(Cycle now) {
     sim_->ledger().forEachLive([&](const Packet& p) {
       NodeId where = loc[PacketPool::slotOf(p.id)];
       if (where == kInvalidNode) where = p.src;
+      // Under retx a packet parked at a soft-reset node's NIC is not
+      // doomed by the node's own temporary isolation — it stalls against
+      // the receiver-down injection channel and redelivers after
+      // recovery. Reachability for it is re-evaluated at the recovery
+      // flush (anything inside the router proper was doomed by rule r).
+      if (retx && numInReset_ > 0 &&
+          inReset_[static_cast<std::size_t>(where)])
+        return;
       if (!degraded_.reachable(where, p.dst)) doomedIds.push_back(p.id);
     });
   }
@@ -419,6 +522,7 @@ void FaultInjector::save(snapshot::Writer& w) const {
   w.u64(unreachablePairs_);
   w.u64(degradedCycles_);
   w.u64(recoveryCycles_);
+  w.u64(softResets_);
 
   // Dead links, canonically keyed by their lower-id endpoint. Stall masks
   // and freezes are read from the live routers/NICs (they are fault-owned
@@ -426,6 +530,7 @@ void FaultInjector::save(snapshot::Writer& w) const {
   std::vector<std::pair<NodeId, Dir>> dead;
   std::vector<std::pair<NodeId, std::uint32_t>> stalls;
   std::vector<NodeId> frozen;
+  std::vector<NodeId> resets;
   for (NodeId n = 0; n < numNodes; ++n) {
     for (int d = static_cast<int>(Dir::North); d < kNumPorts; ++d) {
       const Dir dir = static_cast<Dir>(d);
@@ -436,6 +541,7 @@ void FaultInjector::save(snapshot::Writer& w) const {
     const std::uint32_t mask = net_->router(n).stalledOutPorts_;
     if (mask != 0) stalls.emplace_back(n, mask);
     if (net_->nic(n).injectFrozen_) frozen.push_back(n);
+    if (inReset_[static_cast<std::size_t>(n)]) resets.push_back(n);
   }
   w.u32(static_cast<std::uint32_t>(dead.size()));
   for (const auto& [n, dir] : dead) {
@@ -449,6 +555,8 @@ void FaultInjector::save(snapshot::Writer& w) const {
   }
   w.u32(static_cast<std::uint32_t>(frozen.size()));
   for (const NodeId n : frozen) w.i32(n);
+  w.u32(static_cast<std::uint32_t>(resets.size()));
+  for (const NodeId n : resets) w.i32(n);
 
   std::uint32_t lostEntries = 0;
   for (const std::uint64_t v : lost_)
@@ -466,16 +574,24 @@ void FaultInjector::restore(snapshot::Reader& r) {
   const NodeId numNodes = mesh.numNodes();
 
   // Reset whatever this injector applied so far (restore may rewind a
-  // live, already-degraded run).
+  // live, already-degraded run). Receiver-down flags are re-applied from
+  // the restored reset set below; the link sections restore the same
+  // flags themselves, so ordering against the network restore is moot.
+  const bool retx = net_->config().linkLayer == LinkLayerKind::Retx;
   for (NodeId n = 0; n < numNodes; ++n) {
     net_->router(n).stalledOutPorts_ = 0;
     net_->nic(n).injectFrozen_ = false;
+    if (inReset_[static_cast<std::size_t>(n)]) {
+      inReset_[static_cast<std::size_t>(n)] = 0;
+      if (retx) setNodeReceiverDown(n, false);
+    }
     for (int d = static_cast<int>(Dir::North); d < kNumPorts; ++d) {
       const Dir dir = static_cast<Dir>(d);
       if (mesh.neighbor(n, dir) && !degraded_.linkAlive(n, dir))
         degraded_.setLinkDead(n, dir, false);
     }
   }
+  numInReset_ = 0;
   std::fill(lost_.begin(), lost_.end(), 0);
 
   cursor_ = r.u64();
@@ -488,6 +604,7 @@ void FaultInjector::restore(snapshot::Reader& r) {
   unreachablePairs_ = r.u64();
   degradedCycles_ = r.u64();
   recoveryCycles_ = r.u64();
+  softResets_ = r.u64();
 
   const std::uint32_t numDead = r.u32();
   for (std::uint32_t i = 0; i < numDead; ++i) {
@@ -505,6 +622,14 @@ void FaultInjector::restore(snapshot::Reader& r) {
   const std::uint32_t numFrozen = r.u32();
   for (std::uint32_t i = 0; i < numFrozen; ++i)
     net_->nic(r.i32()).injectFrozen_ = true;
+
+  const std::uint32_t numResets = r.u32();
+  for (std::uint32_t i = 0; i < numResets; ++i) {
+    const NodeId n = r.i32();
+    inReset_[static_cast<std::size_t>(n)] = 1;
+    ++numInReset_;
+    if (retx) setNodeReceiverDown(n, true);
+  }
 
   const std::uint32_t lostEntries = r.u32();
   for (std::uint32_t i = 0; i < lostEntries; ++i) {

@@ -7,14 +7,26 @@
 // place simulation state is mutated out-of-band; the warm loop itself
 // stays allocation-free and fault-unaware.
 //
-// Topology events (link down/up) trigger the "reconfiguration flush":
+// Topology events (link down/up, router reset/recover) trigger the
+// "reconfiguration flush":
 //
-//   1. recompute the DegradedTopology tables (components, BFS distances,
-//      spanning-tree escape routes);
+//   1. commit the RoutingTables repair (incremental: components, BFS
+//      distances and spanning-tree escape routes are rebuilt only for the
+//      dirtied components);
 //   2. doom the packets that cannot or must not continue:
-//        a. any packet with a flit inside a dead link's flit pipe,
+//        a. any packet with a flit inside a dead link's flit pipe
+//           (ideal layer only — on the retransmission layer in-flight
+//           flits survive in the replay buffers and redeliver),
 //        b. any packet whose input VC is committed (Active) toward a dead
-//           output port,
+//           output port (ideal layer only — on the retransmission layer
+//           the committed stream stalls against exhausted credits and
+//           resumes after recovery),
+//        r. any packet buffered in or strung on a soft-reset router's
+//           input VCs, ejecting ones included — the reset wipes the
+//           router's VC state, so everything inside it dies with credit
+//           refunds; on the ideal layer the NIC injection pipe of the
+//           reset node dies too (node-outage semantics), while the
+//           retransmission layer holds those flits for redelivery,
 //        c. any live packet whose destination is unreachable from its
 //           current location on the degraded graph,
 //        d. any packet holding an escape output-VC allocation on a
@@ -35,6 +47,20 @@
 //   5. reset every surviving WaitingVa input VC to Routing so its route
 //      is recomputed against the new tables (counted as a reroute), and
 //      rebuild the routers' incremental aggregates from scratch.
+//
+// Router soft resets (Reset/Recover events). A reset marks every incident
+// channel dead in the routing tables (so routing and reachability treat
+// the node as a one-node component) and runs the flush above. Under the
+// retransmission link layer the reset node's receiving link ends are
+// additionally marked down: arrivals fail the handshake, are counted as
+// corrupted and keep a go-back staged, so the neighbors' replay buffers
+// redeliver every surviving flit once the router recovers — a reset is
+// lossy only for state *inside* the router. Under the ideal layer a reset
+// behaves as a node outage. Recover revives each incident channel unless
+// the neighbor is itself still in reset; a Recover for a node not in
+// reset is a harmless no-op (the fuzz shrinker may strand one). New
+// packets sourced at or destined to a node in reset are dropped at
+// creation through the deliverable() gate.
 //
 // The oracle is told about out-of-band mutation through the FaultView
 // interface (lastTopologyChange suppresses the one-state-per-cycle
@@ -83,6 +109,10 @@ class FaultInjector final : public SimObserver,
 
   // Simulator::FaultHook:
   bool deliverable(NodeId src, NodeId dst) const override {
+    if (numInReset_ > 0 &&
+        (inReset_[static_cast<std::size_t>(src)] ||
+         inReset_[static_cast<std::size_t>(dst)]))
+      return false;
     return !degraded_.active() || degraded_.reachable(src, dst);
   }
   bool snapshotRelevant() const override { return !plan_.empty(); }
@@ -99,6 +129,10 @@ class FaultInjector final : public SimObserver,
   void applyEvent(const FaultEvent& e, bool& topoChanged);
   /// The reconfiguration flush (steps 2-5 of the header comment).
   void applyTopologyChange(Cycle now);
+  /// Marks/clears receiver-down on every link whose receiving end is
+  /// inside `node` (router in-links + the NIC injection channel).
+  /// Retransmission layer only.
+  void setNodeReceiverDown(NodeId node, bool down);
 
   std::size_t lostIndex(NodeId node, int port, int vc) const;
 
@@ -116,12 +150,18 @@ class FaultInjector final : public SimObserver,
   /// oracle adds these to its conservation equations.
   std::vector<std::uint64_t> lost_;
 
+  /// Per-node soft-reset flags plus a population count guarding the
+  /// deliverable() fast path.
+  std::vector<std::uint8_t> inReset_;
+  int numInReset_ = 0;
+
   // FaultStats pieces maintained here (drops live on the simulator).
   std::uint64_t eventsApplied_ = 0;
   std::uint64_t reroutes_ = 0;
   std::uint64_t unreachablePairs_ = 0;
   std::uint64_t degradedCycles_ = 0;
   std::uint64_t recoveryCycles_ = 0;
+  std::uint64_t softResets_ = 0;
 };
 
 }  // namespace rair::fault

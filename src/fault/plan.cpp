@@ -13,7 +13,7 @@ namespace {
 
 constexpr std::string_view kKindNames[] = {
     "down", "up", "stall", "unstall", "creditloss", "freeze", "thaw",
-    "corrupt",
+    "corrupt", "reset", "recover",
 };
 
 bool parseDir(std::string_view tok, Dir& out) {
@@ -43,7 +43,8 @@ bool parseInt(std::string_view tok, T& out) {
 }
 
 bool needsDir(FaultKind k) {
-  return k != FaultKind::InjectFreeze && k != FaultKind::InjectThaw;
+  return k != FaultKind::InjectFreeze && k != FaultKind::InjectThaw &&
+         k != FaultKind::Reset && k != FaultKind::Recover;
 }
 
 }  // namespace
@@ -91,6 +92,12 @@ void FaultPlan::creditLoss(Cycle at, NodeId node, Dir dir, int vc,
 void FaultPlan::corruptFlits(Cycle at, NodeId node, Dir dir, int count) {
   RAIR_CHECK(count >= 1);
   add({at, FaultKind::CorruptFlit, node, dir, 0, count});
+}
+
+void FaultPlan::softReset(Cycle at, NodeId node, Cycle duration) {
+  RAIR_CHECK(duration >= 1);
+  add({at, FaultKind::Reset, node, Dir::North, 0, 1});
+  add({at + duration, FaultKind::Recover, node, Dir::North, 0, 1});
 }
 
 void FaultPlan::encode(snapshot::Writer& w) const {
@@ -200,6 +207,18 @@ bool FaultPlan::parse(std::string_view text, FaultPlan& out,
           e.count < 1)
         return fail(lineNo, "corrupt needs '<count>'");
       next += 1;
+    }
+    if (e.kind == FaultKind::Reset && toks.size() == next + 1) {
+      // Sugar: '@c reset <node> <duration>' expands to the reset/recover
+      // pair (format() always emits the unsugared one-event lines).
+      Cycle duration = 0;
+      if (!parseInt(toks[next], duration) || duration < 1)
+        return fail(lineNo, "reset duration must be >= 1");
+      next += 1;
+      plan.add(e);
+      plan.add({e.at + duration, FaultKind::Recover, e.node, Dir::North, 0,
+                1});
+      continue;
     }
     if (toks.size() != next) return fail(lineNo, "trailing tokens");
     plan.add(e);

@@ -39,6 +39,14 @@ enum class FaultKind : std::uint8_t {
   /// the retransmission link layer — recoverable transient faults, unlike
   /// the outage kinds above.
   CorruptFlit,
+  /// Soft-reset router `node`: every buffered/in-progress packet inside
+  /// the router is dropped with credit refunds and its incident channels
+  /// go down until the paired Recover. Under the retransmission link
+  /// layer the neighbors' replay buffers redeliver the lost flits after
+  /// recovery; under the ideal layer it behaves as a node outage.
+  Reset,
+  /// Bring a reset router back up (a lone Recover is a harmless no-op).
+  Recover,
 };
 
 std::string_view faultKindName(FaultKind k);
@@ -68,6 +76,7 @@ class FaultPlan {
   void injectFreeze(Cycle at, NodeId node, Cycle duration);
   void creditLoss(Cycle at, NodeId node, Dir dir, int vc, int count);
   void corruptFlits(Cycle at, NodeId node, Dir dir, int count);
+  void softReset(Cycle at, NodeId node, Cycle duration);
 
   bool empty() const { return events_.empty(); }
   std::size_t size() const { return events_.size(); }
@@ -83,6 +92,8 @@ class FaultPlan {
   ///   @<cycle> creditloss <node> <N|E|S|W> <vc> <count>
   ///   @<cycle> freeze|thaw <node>
   ///   @<cycle> corrupt <node> <N|E|S|W> <count>
+  ///   @<cycle> reset <node> [<duration>]   # duration adds the recover
+  ///   @<cycle> recover <node>
   std::string format() const;
   static bool parse(std::string_view text, FaultPlan& out,
                     std::string* error = nullptr);
@@ -105,6 +116,7 @@ struct FaultStats {
   std::uint64_t recoveryCycles = 0;   ///< outage start -> full restore, summed
   std::uint64_t corruptedFlits = 0;     ///< CRC-failed wire traversals
   std::uint64_t retransmittedFlits = 0; ///< go-back-N replay traversals
+  std::uint64_t softResets = 0;         ///< Reset events applied
 
   friend bool operator==(const FaultStats&, const FaultStats&) = default;
 };

@@ -95,6 +95,26 @@ void addCreditLoss(FaultPlan& plan, Sampler& s) {
   plan.creditLoss(s.cycle(), node, dir, vc, 1);
 }
 
+/// Router soft resets, drawn after every other kind so existing seeds
+/// keep their exact event prefix. Always recovered after a bounded
+/// duration and serialized so at most one node is in reset at any time —
+/// overlapping resets could strand committed traffic between two down
+/// routers with no live escape, and nested resets of one node are
+/// rejected by the injector. A shifted start may land past windowEnd;
+/// the recover still applies because stalled traffic keeps the drain
+/// loop cycling until it fires.
+void addResets(FaultPlan& plan, Sampler& s, int count) {
+  Cycle lastEnd = 0;
+  for (int i = 0; i < count; ++i) {
+    const NodeId node = s.node();
+    Cycle at = s.cycle();
+    const Cycle duration = s.duration(10, 120);
+    if (at <= lastEnd) at = lastEnd + 1;
+    plan.softReset(at, node, duration);
+    lastEnd = at + duration;
+  }
+}
+
 /// The fuzzer's family: a small fixed-range budget per kind.
 void sampleBudget(FaultPlan& plan, Sampler& s) {
   if (s.opts.retxLayer) {
@@ -118,6 +138,9 @@ void sampleBudget(FaultPlan& plan, Sampler& s) {
   // packet is a watchdog report about the plan, not about the network.
   const int losses = static_cast<int>(s.rng.below(3));
   for (int i = 0; i < losses; ++i) addCreditLoss(plan, s);
+  // 0-2 router soft resets (both layers; on retx the neighbors' replay
+  // buffers redeliver after recovery, on ideal a reset is a node outage).
+  addResets(plan, s, static_cast<int>(s.rng.below(3)));
 }
 
 /// The campaign's density family: one event expected every `mtbf` cycles,
@@ -146,6 +169,10 @@ void sampleMtbf(FaultPlan& plan, Sampler& s) {
         break;
     }
   }
+  // Soft resets ride on top of the uniform draw (appending keeps the
+  // RNG prefix, so existing seeds keep their exact event sequence),
+  // roughly one per eight MTBF events.
+  addResets(plan, s, 1 + events / 8);
 }
 
 }  // namespace

@@ -15,9 +15,11 @@
 // The active family follows the link layer: ideal-layer plans use link
 // outages (recovery is rerouting), retx-layer plans use corruption bursts
 // (recovery is retransmission). Both families add port stalls, injection
-// freezes and credit losses, always bounded so the plan stays
-// liveness-safe: every stall/freeze is released, credit loss never touches
-// escape VCs, and permanent outages are opt-in.
+// freezes, credit losses and router soft resets, always bounded so the
+// plan stays liveness-safe: every stall/freeze is released, credit loss
+// never touches escape VCs, permanent outages are opt-in, and soft resets
+// are always recovered and never overlap in time (at most one node is in
+// reset at any instant).
 #pragma once
 
 #include <cstdint>

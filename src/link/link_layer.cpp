@@ -70,6 +70,12 @@ void IdealLink::corruptNext(int) {
                  "(--link-layer retx)");
 }
 
+void IdealLink::setReceiverDown(bool) {
+  RAIR_CHECK_MSG(false,
+                 "receiver-down recovery requires the retx link layer; "
+                 "ideal-layer soft resets purge in-flight flits instead");
+}
+
 void IdealLink::save(snapshot::Writer& w) const {
   snapshot::saveDelayPipe(w, data_, snapshot::saveFlitMsg);
   snapshot::saveDelayPipe(w, credits_, snapshot::saveCreditMsg);

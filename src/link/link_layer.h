@@ -116,10 +116,20 @@ class LinkLayer {
 
   /// Removes every in-flight flit for which `doomed` returns true,
   /// calling `refundCredit(vc)` once per removal; returns the number
-  /// removed. Used by the fault injector's reconfiguration flush —
-  /// topology faults require the ideal layer, so RetxLink rejects this.
+  /// removed. Used by the fault injector's reconfiguration flush. An
+  /// ideal link deletes the pipe entries outright; a retransmission link
+  /// cannot remove replay entries without tearing the go-back-N sequence
+  /// space, so it tombstones them instead — the entry stays in the
+  /// protocol (pumped, replayed, ACKed) but turns census-invisible and is
+  /// consumed silently at the receiver.
   virtual int purgeFlits(const std::function<bool(const FlitMsg&)>& doomed,
                          const std::function<void(int)>& refundCredit) = 0;
+  /// While down, the receiver end refuses every arrival at peek time (the
+  /// CRC handshake fails against a router in soft reset) and keeps a
+  /// go-back staged so the sender replays everything once the router
+  /// recovers. Only a retransmission layer can redeliver, so IdealLink
+  /// rejects this — on the ideal layer a soft reset purges instead.
+  virtual void setReceiverDown(bool down) = 0;
   /// Marks the next `count` flits entering the forward wire as corrupt
   /// (CRC failure at the receiver). Only a retransmission layer can
   /// recover a corrupt flit, so IdealLink rejects this.
@@ -188,6 +198,7 @@ class IdealLink final : public LinkLayer {
   int purgeFlits(const std::function<bool(const FlitMsg&)>& doomed,
                  const std::function<void(int)>& refundCredit) override;
   void corruptNext(int count) override;
+  void setReceiverDown(bool down) override;
   void save(snapshot::Writer& w) const override;
   void restore(snapshot::Reader& r) override;
 

@@ -89,13 +89,38 @@ void RetxLink::vTickUpstream(Cycle now) {
 
 const FlitMsg* RetxLink::vPeekFlit(Cycle now) {
   while (const WireFlit* wf = fwd_.peek(now)) {
+    if (receiverDown_) {
+      // The downstream router is in soft reset: every arrival fails the
+      // handshake. Unlike a normal gap the NAK re-arms on every drop —
+      // the gap cannot close while the router is down, and keeping a
+      // go-back staged is what guarantees the pump rewinds and the whole
+      // window is redelivered once the router recovers.
+      if (wf->seq >= expectSeq_) {
+        ++corrupted_;
+        nakPending_ = true;
+        nakSeq_ = expectSeq_;
+        nakArmed_ = true;
+      }
+      fwd_.popFront();
+      continue;
+    }
     if (!wf->corrupt && wf->seq == expectSeq_) {
       // The wire carries only the tag; the payload is read out of the
       // replay buffer, which must still hold this entry (it retires only
       // on a cumulative ACK the receiver has not sent for seq yet).
       RAIR_DCHECK(!replay_.empty() && replay_.front().seq <= wf->seq);
-      return &replay_[static_cast<std::size_t>(wf->seq - replay_.front().seq)]
-                  .msg;
+      ReplayEntry& e =
+          replay_[static_cast<std::size_t>(wf->seq - replay_.front().seq)];
+      if (e.doomed) {
+        // Tombstone from a reconfiguration purge: advance the protocol
+        // past it without surfacing a flit or charging a credit.
+        fwd_.popFront();
+        ++expectSeq_;
+        ackPending_ = true;
+        nakArmed_ = false;
+        continue;
+      }
+      return &e.msg;
     }
     if (wf->seq >= expectSeq_) {
       // A corrupt or gapped arrival we needed: request a go-back, at
@@ -154,7 +179,9 @@ int RetxLink::inFlightFlits(int vc) const {
   // expectSeq_ already sit in a downstream buffer (counted there).
   int n = 0;
   for (std::size_t i = 0; i < replay_.size(); ++i)
-    if (replay_[i].seq >= expectSeq_ && replay_[i].msg.vc == vc) ++n;
+    if (replay_[i].seq >= expectSeq_ && !replay_[i].doomed &&
+        replay_[i].msg.vc == vc)
+      ++n;
   return n;
 }
 
@@ -170,16 +197,30 @@ int RetxLink::inFlightCredits(int vc) const {
 void RetxLink::forEachFlit(
     const std::function<void(const FlitMsg&)>& fn) const {
   for (std::size_t i = 0; i < replay_.size(); ++i)
-    if (replay_[i].seq >= expectSeq_) fn(replay_[i].msg);
+    if (replay_[i].seq >= expectSeq_ && !replay_[i].doomed)
+      fn(replay_[i].msg);
 }
 
-int RetxLink::purgeFlits(const std::function<bool(const FlitMsg&)>&,
-                         const std::function<void(int)>&) {
-  RAIR_CHECK_MSG(false,
-                 "topology faults require the ideal link layer; the "
-                 "injector rejects such plans at construction");
-  return 0;
+int RetxLink::purgeFlits(const std::function<bool(const FlitMsg&)>& doomed,
+                         const std::function<void(int)>& refundCredit) {
+  // Tombstone instead of remove: deleting a replay entry would tear the
+  // go-back-N sequence space (the receiver would wait forever on the
+  // gap). Only entries the receiver has not accepted yet are eligible —
+  // a delivered-but-unACKed entry's payload sits in a downstream buffer
+  // and is refunded by that buffer's own purge.
+  int removed = 0;
+  for (std::size_t i = 0; i < replay_.size(); ++i) {
+    ReplayEntry& e = replay_[i];
+    if (e.seq < expectSeq_ || e.doomed) continue;
+    if (!doomed(e.msg)) continue;
+    e.doomed = true;
+    refundCredit(e.msg.vc);
+    ++removed;
+  }
+  return removed;
 }
+
+void RetxLink::setReceiverDown(bool down) { receiverDown_ = down; }
 
 void RetxLink::corruptNext(int count) {
   RAIR_CHECK(count > 0);
@@ -189,7 +230,8 @@ void RetxLink::corruptNext(int count) {
 // ---- Snapshot ----------------------------------------------------------
 
 namespace {
-constexpr std::uint8_t kRetxSectionVersion = 1;
+// v2: per-entry tombstone flag + the receiver-down (soft reset) flag.
+constexpr std::uint8_t kRetxSectionVersion = 2;
 }  // namespace
 
 void RetxLink::save(snapshot::Writer& w) const {
@@ -208,6 +250,7 @@ void RetxLink::save(snapshot::Writer& w) const {
                      [](snapshot::Writer& w2, const ReplayEntry& e) {
                        snapshot::saveFlitMsg(w2, e.msg);
                        w2.u64(e.seq);
+                       w2.boolean(e.doomed);
                      });
   w.u64(nextSeq_);
   w.u64(cursor_);
@@ -218,6 +261,7 @@ void RetxLink::save(snapshot::Writer& w) const {
   w.boolean(nakPending_);
   w.u64(nakSeq_);
   w.boolean(nakArmed_);
+  w.boolean(receiverDown_);
   w.u64(corrupted_);
   w.u64(retransmitted_);
 }
@@ -239,6 +283,7 @@ void RetxLink::restore(snapshot::Reader& r) {
                         [](snapshot::Reader& r2, ReplayEntry& e) {
                           snapshot::restoreFlitMsg(r2, e.msg);
                           e.seq = r2.u64();
+                          e.doomed = r2.boolean();
                         });
   nextSeq_ = r.u64();
   cursor_ = static_cast<std::size_t>(r.u64());
@@ -249,6 +294,7 @@ void RetxLink::restore(snapshot::Reader& r) {
   nakPending_ = r.boolean();
   nakSeq_ = r.u64();
   nakArmed_ = r.boolean();
+  receiverDown_ = r.boolean();
   corrupted_ = r.u64();
   retransmitted_ = r.u64();
 }

@@ -53,6 +53,7 @@ class RetxLink final : public LinkLayer {
   int purgeFlits(const std::function<bool(const FlitMsg&)>& doomed,
                  const std::function<void(int)>& refundCredit) override;
   void corruptNext(int count) override;
+  void setReceiverDown(bool down) override;
   std::uint64_t corruptedFlits() const override { return corrupted_; }
   std::uint64_t retransmittedFlits() const override { return retransmitted_; }
   void save(snapshot::Writer& w) const override;
@@ -102,10 +103,15 @@ class RetxLink final : public LinkLayer {
     std::uint64_t seq = 0;
   };
 
-  /// A sent-but-unacknowledged flit retained for replay.
+  /// A sent-but-unacknowledged flit retained for replay. A doomed entry
+  /// was purged by the fault injector (its packet died in a soft reset):
+  /// it keeps its place in the sequence space — pumped, replayed and
+  /// ACKed like any other — but is census-invisible and consumed
+  /// silently at the receiver (no buffer insert, no credit).
   struct ReplayEntry {
     FlitMsg msg;
     std::uint64_t seq = 0;
+    bool doomed = false;
   };
 
   void retireAcked(std::uint64_t seq);
@@ -132,6 +138,7 @@ class RetxLink final : public LinkLayer {
   bool nakPending_ = false;      ///< staged go-back request
   std::uint64_t nakSeq_ = 0;     ///< sequence captured when the NAK staged
   bool nakArmed_ = false;        ///< suppress duplicate NAKs for one gap
+  bool receiverDown_ = false;    ///< downstream router in soft reset
 
   // Lifetime counters (surface through FaultStats).
   std::uint64_t corrupted_ = 0;

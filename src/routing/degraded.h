@@ -1,94 +1,13 @@
-// Degraded-topology routing tables for fault injection.
-//
-// When the fault subsystem kills a link, minimal XY escape routing is no
-// longer deadlock-free (the dimension-ordered path may cross the dead
-// channel). DegradedTopology maintains, per dead-link set, the LBDR-style
-// per-node connectivity bits plus full routing tables for the degraded
-// graph:
-//
-//   * escape routes follow a BFS spanning tree per connected component
-//     (root = lowest node id). Routing along the unique tree path is the
-//     up*/down* special case, so the escape subnetwork stays cycle-free
-//     and Duato's protocol keeps holding on the degraded graph.
-//   * adaptive candidates are the BFS-distance-decreasing directions on
-//     the degraded graph (capped at two, enumerated in fixed N,E,S,W
-//     order), so adaptive VCs retain path diversity where it exists.
-//
-// Tables are O(N^2) and recomputed only at fault events, never on the
-// cycle hot path. While no link is dead (`active() == false`) the routing
-// layer bypasses this object entirely, keeping fault-free runs
-// byte-identical to a build without the fault subsystem attached.
+// Compatibility shim: the degraded-topology tables grew into the
+// reconfiguration engine in routing/tables.h. `DegradedTopology` remains
+// the historical name for the same object — the fault layer and the tests
+// written against PR 8 keep compiling unchanged.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "routing/routing.h"
-#include "topology/mesh.h"
+#include "routing/tables.h"
 
 namespace rair {
 
-class DegradedTopology {
- public:
-  explicit DegradedTopology(const Mesh& mesh);
-
-  /// Marks the undirected physical channel leaving `n` through `d` dead or
-  /// alive. Both directions of the channel fail together. Call recompute()
-  /// after a batch of changes, before any routing query.
-  void setLinkDead(NodeId n, Dir d, bool dead);
-
-  /// True when the router-router channel leaving `n` through `d` exists
-  /// and is not dead. Local is always alive; mesh-edge ports are not.
-  bool linkAlive(NodeId n, Dir d) const;
-
-  bool active() const { return numDead_ > 0; }
-  int numDeadLinks() const { return numDead_; }  ///< undirected channels
-
-  /// Rebuilds components, distances and spanning-tree escape tables for
-  /// the current dead-link set.
-  void recompute();
-
-  /// LBDR-style connectivity bits of the alive router-router links at `n`:
-  /// bit 0 = North, 1 = East, 2 = South, 3 = West.
-  std::uint8_t connectivityBits(NodeId n) const;
-
-  bool reachable(NodeId a, NodeId b) const {
-    return comp_[static_cast<std::size_t>(a)] ==
-           comp_[static_cast<std::size_t>(b)];
-  }
-  int componentOf(NodeId n) const {
-    return comp_[static_cast<std::size_t>(n)];
-  }
-
-  /// Ordered node pairs (a, b), a != b, with no path between them.
-  std::uint64_t unreachablePairs() const;
-
-  /// BFS hop distance on the degraded graph, -1 when unreachable.
-  int distance(NodeId from, NodeId to) const;
-
-  /// Next hop along the spanning-tree escape path. Requires
-  /// reachable(here, dst) and here != dst.
-  Dir escapeDir(NodeId here, NodeId dst) const;
-
-  /// Full RC result on the degraded graph. Requires reachable(here, dst).
-  RouteResult routeFor(NodeId here, NodeId dst) const;
-
-  const Mesh& mesh() const { return *mesh_; }
-
- private:
-  static int dirIndex(Dir d) { return static_cast<int>(d) - 1; }
-  std::size_t at(NodeId dst, NodeId node) const {
-    return static_cast<std::size_t>(dst) * static_cast<std::size_t>(n_) +
-           static_cast<std::size_t>(node);
-  }
-
-  const Mesh* mesh_;
-  int n_;
-  std::vector<std::uint8_t> deadOut_;   ///< n*4 directed flags (symmetric)
-  int numDead_ = 0;                     ///< undirected dead channels
-  std::vector<std::int32_t> comp_;      ///< component label per node
-  std::vector<std::int16_t> dist_;      ///< [dst*n + node] graph distance
-  std::vector<std::uint8_t> treeDir_;   ///< [dst*n + node] tree next hop
-};
+using DegradedTopology = RoutingTables;
 
 }  // namespace rair

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
-#include "routing/degraded.h"
+#include "routing/tables.h"
 
 namespace rair {
 

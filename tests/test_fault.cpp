@@ -49,6 +49,7 @@ FaultPlan samplePlan() {
   plan.portStall(40, 3, Dir::North, 60);
   plan.injectFreeze(200, 7, 80);
   plan.creditLoss(150, 2, Dir::West, 1, 2);
+  plan.softReset(300, 6, 120);
   plan.add({500, FaultKind::LinkDown, 9, Dir::South, 0, 1});  // permanent
   return plan;
 }
@@ -86,6 +87,24 @@ TEST(FaultPlan, BinaryEncodingRoundTrips) {
   snapshot::Reader r(w.payload());
   EXPECT_EQ(FaultPlan::decode(r), plan);
   EXPECT_TRUE(r.atEnd());
+}
+
+TEST(FaultPlan, ResetDurationSugarExpandsToRecover) {
+  FaultPlan out;
+  std::string err;
+  ASSERT_TRUE(FaultPlan::parse("@10 reset 3 50\n", out, &err)) << err;
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.events()[0].kind, FaultKind::Reset);
+  EXPECT_EQ(out.events()[0].at, 10u);
+  EXPECT_EQ(out.events()[1].kind, FaultKind::Recover);
+  EXPECT_EQ(out.events()[1].at, 60u);
+  EXPECT_EQ(out.events()[1].node, 3);
+
+  // The bare one-event forms parse too, and a zero duration is rejected.
+  ASSERT_TRUE(FaultPlan::parse("@10 reset 3\n@60 recover 3\n", out, &err))
+      << err;
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_FALSE(FaultPlan::parse("@10 reset 3 0\n", out, &err));
 }
 
 TEST(FaultPlan, EventsStaySortedByCycle) {
@@ -288,6 +307,8 @@ TEST_P(FaultKindOracle, NoViolationsAndAllDropsAccounted) {
     plan.portStall(2'500, mid, Dir::East, 300);
   } else if (kind == "creditloss") {
     plan.creditLoss(2'500, mid, Dir::East, 1, 1);  // adaptive VC
+  } else if (kind == "reset") {
+    plan.softReset(2'500, mid, 300);
   } else {
     ASSERT_EQ(kind, "freeze");
     plan.injectFreeze(2'500, mid, 300);
@@ -315,7 +336,7 @@ TEST_P(FaultKindOracle, NoViolationsAndAllDropsAccounted) {
 INSTANTIATE_TEST_SUITE_P(
     Kinds, FaultKindOracle,
     ::testing::Combine(::testing::Values("outage", "permanent", "stall",
-                                         "creditloss", "freeze"),
+                                         "creditloss", "freeze", "reset"),
                        ::testing::Values(1, 4)),
     [](const auto& info) {
       return std::string(std::get<0>(info.param)) + "_t" +
@@ -353,6 +374,43 @@ TEST(FaultOracle, Fig09CellCleanUnderOutageAtEveryThreadCount) {
   EXPECT_EQ(t4.run.packetsDelivered, ref.run.packetsDelivered);
   EXPECT_EQ(t4.droppedByFault, ref.droppedByFault);
   EXPECT_EQ(t4.stats, ref.stats);
+}
+
+TEST(FaultOracle, SoftResetOnRetxLayerIsCleanAndThreadInvariant) {
+  // Under retx a reset drops only in-router state: neighbors' replay
+  // buffers hold in-flight flits and redeliver them after recovery, and
+  // committed streams stall against exhausted credits instead of dying.
+  Mesh mesh(4, 4);
+  const RegionMap regions = RegionMap::halves(mesh);
+  FaultPlan plan;
+  plan.softReset(2'500, mesh.nodeAt({1, 1}), 400);
+
+  const ScenarioSpec base = smallSpec(mesh, regions, schemeRaRair())
+                                .withFaults(plan)
+                                .withLinkLayer(LinkLayerKind::Retx);
+  const AuditedRun ref = runAudited(base);
+  EXPECT_TRUE(ref.report.ok())
+      << (ref.report.violations.empty() ? "?"
+                                        : ref.report.violations[0].what);
+  EXPECT_EQ(ref.run.termination, Termination::Drained);
+  EXPECT_EQ(ref.stats.softResets, 1u);
+  EXPECT_EQ(ref.stats.degradedCycles, 400u);
+  // Receiver-down drops count as corrupted arrivals; the post-recovery
+  // go-back replays them.
+  EXPECT_GT(ref.stats.corruptedFlits, 0u);
+  EXPECT_GT(ref.stats.retransmittedFlits, 0u);
+  EXPECT_LE(ref.run.packetsDelivered + ref.droppedByFault,
+            ref.run.packetsCreated);
+
+  // Identical drop/retransmit totals on the sharded engine.
+  for (const int threads : {1, 4}) {
+    const AuditedRun t = runAudited(ScenarioSpec(base).withThreads(threads));
+    EXPECT_TRUE(t.report.ok()) << "threads=" << threads;
+    EXPECT_EQ(t.run.cyclesRun, ref.run.cyclesRun) << threads;
+    EXPECT_EQ(t.run.packetsDelivered, ref.run.packetsDelivered) << threads;
+    EXPECT_EQ(t.droppedByFault, ref.droppedByFault) << threads;
+    EXPECT_EQ(t.stats, ref.stats) << "threads=" << threads;
+  }
 }
 
 // ---- Drop accounting under partition ---------------------------------------
@@ -399,6 +457,31 @@ ScenarioSpec midOutageSpec(const Mesh& mesh, const RegionMap& regions) {
       .withFaults(plan);
 }
 
+// The reconfiguration-engine contract (DESIGN.md §5e): the incremental
+// repair path must be byte-invisible — campaign records and snapshot
+// bytes identical to a from-scratch rebuild after every event — on
+// fault-free and faulted cells alike, at every shard-thread count.
+TEST(FaultGolden, IncrementalRecomputeIsByteInvisible) {
+  Mesh mesh(8, 8);
+  const RegionMap regions = RegionMap::halves(mesh);
+  const ScenarioSpec faultFree =
+      fig09Spec(mesh, regions, 0.5, schemeRaRair(), 17911839290282890590ull);
+  const ScenarioSpec faulted = midOutageSpec(mesh, regions);
+
+  for (const ScenarioSpec* spec : {&faultFree, &faulted}) {
+    DegradedTopology::forceFullRebuildForTest = true;
+    const auto full = serializedAfter(*spec, 3'000, false);
+    DegradedTopology::forceFullRebuildForTest = false;
+    const auto incremental = serializedAfter(*spec, 3'000, false);
+    EXPECT_TRUE(full == incremental);
+    for (const int threads : {1, 2, 4}) {
+      const auto sharded = serializedAfter(
+          ScenarioSpec(*spec).withThreads(threads), 3'000, false);
+      EXPECT_TRUE(full == sharded) << "threads=" << threads;
+    }
+  }
+}
+
 TEST(FaultSnapshot, MidOutageStateIsByteStableAcrossShardThreadCounts) {
   Mesh mesh(8, 8);
   const RegionMap regions = RegionMap::halves(mesh);
@@ -435,6 +518,58 @@ TEST(FaultSnapshot, MidOutageCheckpointResumeMatchesStraightRun) {
   EXPECT_EQ(resumed.run.packetsDelivered, straight.run.packetsDelivered);
   EXPECT_EQ(resumed.meanApl, straight.meanApl);
   EXPECT_EQ(resumed.appApl, straight.appApl);
+  ASSERT_TRUE(resumed.faultStats.has_value());
+  EXPECT_EQ(*resumed.faultStats, *straight.faultStats);
+  snapshot::removeFile(path);
+}
+
+ScenarioSpec midResetSpec(const Mesh& mesh, const RegionMap& regions) {
+  // Reset at 2000, still down at the 3000-cycle observation point,
+  // recovered at 5000 — the serialized state carries the in-reset node,
+  // receiver-down link flags, tombstoned replay entries and the pending
+  // Recover event.
+  FaultPlan plan;
+  plan.softReset(2'000, mesh.nodeAt({3, 3}), 3'000);
+  plan.corruptFlits(2'600, mesh.nodeAt({1, 5}), Dir::North, 4);
+  return fig09Spec(mesh, regions, 0.5, schemeRaRair(),
+                   17911839290282890590ull)
+      .withFaults(plan)
+      .withLinkLayer(LinkLayerKind::Retx);
+}
+
+TEST(FaultSnapshot, MidResetStateIsByteStableAcrossShardThreadCounts) {
+  Mesh mesh(8, 8);
+  const RegionMap regions = RegionMap::halves(mesh);
+  const ScenarioSpec spec = midResetSpec(mesh, regions);
+  const auto legacy = serializedAfter(spec, 3'000, false);
+  for (const int threads : {1, 2, 4}) {
+    const auto sharded =
+        serializedAfter(ScenarioSpec(spec).withThreads(threads), 3'000,
+                        false);
+    EXPECT_TRUE(legacy == sharded) << "threads=" << threads;
+  }
+}
+
+TEST(FaultSnapshot, MidResetCheckpointResumeMatchesStraightRun) {
+  Mesh mesh(8, 8);
+  const RegionMap regions = RegionMap::halves(mesh);
+  const ScenarioSpec spec = midResetSpec(mesh, regions);
+
+  const ScenarioResult straight = runScenario(spec);
+  ASSERT_TRUE(straight.faultStats.has_value());
+  EXPECT_EQ(straight.faultStats->softResets, 1u);
+
+  const std::string path = ::testing::TempDir() + "rair_fault_reset.snap";
+  snapshot::removeFile(path);
+  ASSERT_TRUE(writeScenarioCheckpoint(spec, 3'000, path));
+
+  const ScenarioResult resumed =
+      runScenario(ScenarioSpec(spec).withCheckpoint(path).withThreads(4));
+  EXPECT_EQ(resumed.resumedFromCycle, 3'000u);
+  EXPECT_EQ(resumed.run.cyclesRun, straight.run.cyclesRun);
+  EXPECT_EQ(resumed.run.packetsCreated, straight.run.packetsCreated);
+  EXPECT_EQ(resumed.run.packetsDelivered, straight.run.packetsDelivered);
+  EXPECT_EQ(resumed.meanApl, straight.meanApl);
   ASSERT_TRUE(resumed.faultStats.has_value());
   EXPECT_EQ(*resumed.faultStats, *straight.faultStats);
   snapshot::removeFile(path);

@@ -54,6 +54,8 @@ void usage(std::FILE* to) {
       "                  @<cycle> creditloss <node> <N|E|S|W> <vc> <count>\n"
       "                  @<cycle> freeze|thaw <node>\n"
       "                  @<cycle> corrupt <node> <N|E|S|W> <count>\n"
+      "                  @<cycle> reset <node> [<duration>]\n"
+      "                  @<cycle> recover <node>\n"
       "                blank lines and #-comments are ignored; <node> is a\n"
       "                row-major id (y*width + x)\n"
       "  --example     print a commented example plan and exit\n"
@@ -67,7 +69,9 @@ void usage(std::FILE* to) {
       "  --link-layer KIND\n"
       "                ideal (default) | retx: build every channel with\n"
       "                the CRC/retransmission link layer. corrupt events\n"
-      "                require retx; down/up events require ideal\n"
+      "                require retx; down/up events require ideal; reset\n"
+      "                events work on both (retx redelivers after\n"
+      "                recovery, ideal treats the reset as a node outage)\n"
       "  --cell CAMPAIGN:KEY\n"
       "                replay the plan on a built-in campaign cell instead\n"
       "                of the canonical workload (e.g.\n"
@@ -108,7 +112,11 @@ int printExample() {
       "# Corrupt 4 flits entering (3,3)'s east wire. Requires\n"
       "# --link-layer retx, which is incompatible with down/up events --\n"
       "# keep corruption plans separate from outage plans:\n"
-      "#@6000 corrupt 27 E 4\n");
+      "#@6000 corrupt 27 E 4\n"
+      "\n"
+      "# Soft-reset the router at (4,3) for 400 cycles (works on both\n"
+      "# link layers; equivalent to '@8000 reset 28' + '@8400 recover 28'):\n"
+      "@8000 reset 28 400\n");
   return 0;
 }
 
@@ -271,6 +279,9 @@ void reportPair(const ScenarioResult& twin, const ScenarioResult& faulted) {
                   "retransmitted\n",
                   static_cast<unsigned long long>(fs.corruptedFlits),
                   static_cast<unsigned long long>(fs.retransmittedFlits));
+    if (fs.softResets > 0)
+      std::printf("  %llu router soft resets\n",
+                  static_cast<unsigned long long>(fs.softResets));
   }
 }
 

@@ -43,9 +43,10 @@ void usage(std::FILE* to) {
       "                       require the oracle to catch every one\n"
       "  --fault-plan         attach a seed-derived random fault plan to\n"
       "                       every case (link outages incl. permanent,\n"
-      "                       port stalls, injection freezes, credit loss;\n"
-      "                       corruption bursts instead of outages under\n"
-      "                       --link-layer retx) and require zero\n"
+      "                       port stalls, injection freezes, credit loss,\n"
+      "                       router soft resets; corruption bursts\n"
+      "                       instead of outages under --link-layer retx)\n"
+      "                       and require zero\n"
       "                       violations: faults must degrade, never\n"
       "                       corrupt, with every undelivered packet\n"
       "                       accounted as dropped\n"
